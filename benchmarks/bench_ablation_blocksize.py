@@ -1,0 +1,42 @@
+"""Ablation — HiCOO block size B.
+
+The paper fixes B = 128 "to fit into the last-level cache in all
+platforms"; this ablation sweeps B and reports the storage/bench
+trade-off the choice balances: small blocks inflate the block count
+(metadata + block-loop overhead), huge blocks couldn't keep their matrix
+slices cache-resident.
+"""
+
+import pytest
+
+from repro.sptensor import HiCOOTensor
+from repro.kernels import hicoo_mttkrp, hicoo_ttv
+
+
+@pytest.mark.parametrize("block_size", [8, 32, 128, 256])
+def test_hicoo_conversion_blocksize(benchmark, bench_tensor, block_size):
+    h = benchmark(lambda: HiCOOTensor.from_coo(bench_tensor, block_size))
+    assert h.nnz == bench_tensor.nnz
+
+
+@pytest.mark.parametrize("block_size", [8, 32, 128, 256])
+def test_hicoo_mttkrp_blocksize(benchmark, bench_tensor, bench_mats, block_size):
+    h = HiCOOTensor.from_coo(bench_tensor, block_size)
+    out = benchmark(lambda: hicoo_mttkrp(h, bench_mats, 0))
+    assert out.shape[0] == bench_tensor.shape[0]
+
+
+@pytest.mark.parametrize("block_size", [8, 128])
+def test_hicoo_ttv_blocksize(benchmark, bench_tensor, bench_vectors, block_size):
+    h = HiCOOTensor.from_coo(bench_tensor, block_size)
+    out = benchmark(lambda: hicoo_ttv(h, bench_vectors[2], 2))
+    assert out.nnz > 0
+
+
+def test_blocksize_storage_tradeoff(bench_tensor):
+    """Smaller blocks -> more blocks -> more metadata bytes."""
+    sizes = {}
+    for b in (8, 32, 128):
+        h = HiCOOTensor.from_coo(bench_tensor, b)
+        sizes[b] = (h.nblocks, h.nbytes)
+    assert sizes[8][0] >= sizes[32][0] >= sizes[128][0]

@@ -1,0 +1,86 @@
+"""Ablation — CSF (the paper's planned next format) vs COO/HiCOO.
+
+CSF's fiber tree shares index prefixes, so its Ttv touches fewer index
+words and its Mttkrp computes each fiber's partial product once.  This
+ablation times all three formats on the same tensors.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    coo_mttkrp,
+    coo_ttv,
+    csf_mttkrp,
+    csf_ttv,
+    hicoo_mttkrp,
+    hicoo_ttv,
+)
+from repro.sptensor import CSFTensor
+
+
+@pytest.fixture(scope="module")
+def csf(bench_tensor):
+    return CSFTensor.from_coo(bench_tensor)
+
+
+@pytest.mark.parametrize("fmt", ["coo", "hicoo", "csf"])
+def test_ttv_format(benchmark, bench_tensor, bench_hicoo, csf, bench_vectors, fmt):
+    # product mode at the CSF leaves = no tree rebuild
+    v = bench_vectors[2]
+    fn = {
+        "coo": lambda: coo_ttv(bench_tensor, v, 2),
+        "hicoo": lambda: hicoo_ttv(bench_hicoo, v, 2),
+        "csf": lambda: csf_ttv(csf, v, 2),
+    }[fmt]
+    out = benchmark(fn)
+    assert out is not None
+
+
+@pytest.mark.parametrize("fmt", ["coo", "hicoo", "csf"])
+def test_mttkrp_format(benchmark, bench_tensor, bench_hicoo, csf, bench_mats, fmt):
+    # product mode at the CSF root = no tree rebuild
+    fn = {
+        "coo": lambda: coo_mttkrp(bench_tensor, bench_mats, 0),
+        "hicoo": lambda: hicoo_mttkrp(bench_hicoo, bench_mats, 0),
+        "csf": lambda: csf_mttkrp(csf, bench_mats, 0),
+    }[fmt]
+    out = benchmark(fn)
+    assert out is not None
+
+
+@pytest.mark.parametrize("fmt", ["coo", "csf"])
+def test_mode_genericity_all_modes_mttkrp(
+    benchmark, bench_tensor, csf, bench_mats, fmt
+):
+    """The paper's reason for choosing COO/HiCOO: one representation
+    serves every mode.  CSF must rebuild its tree per product mode — this
+    bench charges that cost by running Mttkrp over *all* modes."""
+
+    def run_coo():
+        return [
+            coo_mttkrp(bench_tensor, bench_mats, m)
+            for m in range(bench_tensor.nmodes)
+        ]
+
+    def run_csf():
+        # csf_mttkrp transparently rebuilds for non-root modes
+        return [
+            csf_mttkrp(csf, bench_mats, m)
+            for m in range(bench_tensor.nmodes)
+        ]
+
+    outs = benchmark(run_coo if fmt == "coo" else run_csf)
+    assert len(outs) == bench_tensor.nmodes
+
+
+def test_csf_results_agree(bench_tensor, csf, bench_mats, bench_vectors):
+    a = coo_mttkrp(bench_tensor, bench_mats, 0)
+    b = csf_mttkrp(csf, bench_mats, 0)
+    np.testing.assert_allclose(a, b, rtol=1e-3)
+
+
+def test_csf_storage_vs_coo(bench_tensor, csf):
+    """The fiber tree stores at most as many index words as COO on
+    sorted tensors with shared prefixes."""
+    assert csf.nbytes <= bench_tensor.nbytes * 1.5

@@ -1,0 +1,40 @@
+"""Ablation — distributed-memory scaling (paper future work).
+
+Strong-scaling of the coarse-grained distributed Mttkrp over 1-16
+simulated ranks: local compute shrinks with the shard, the factor-matrix
+all-reduce grows with the rank count.
+"""
+
+import pytest
+
+from repro.distributed import SimNetwork, distributed_cp_als, distributed_mttkrp
+
+
+@pytest.mark.parametrize("nranks", [1, 4, 16])
+def test_distributed_mttkrp_scaling(benchmark, bench_tensor, bench_mats, nranks):
+    def run():
+        net = SimNetwork(nranks)
+        return distributed_mttkrp(bench_tensor, bench_mats, 0, net)
+
+    res = benchmark(run)
+    assert res.nranks == nranks
+
+
+def test_strong_scaling_shape(bench_tensor, bench_mats):
+    times = {}
+    for n in (1, 2, 4, 8, 16):
+        net = SimNetwork(n)
+        times[n] = distributed_mttkrp(bench_tensor, bench_mats, 0, net).seconds
+    assert times[4] < times[1]  # parallelism wins at first
+    # communication eventually bounds the simulated time from below
+    assert times[16] > 0
+
+
+def test_distributed_cp_als_runs(benchmark, bench_tensor):
+    small = bench_tensor
+    res = benchmark(
+        lambda: distributed_cp_als(
+            small, rank=8, net=SimNetwork(4), n_iters=2, tol=0.0
+        )
+    )
+    assert len(res.fits) == 2

@@ -1,0 +1,44 @@
+"""Ablation — gHiCOO compressed-mode choice (this paper's format).
+
+gHiCOO exists because full HiCOO loses on hyper-sparse tensors; the
+right choice of compressed modes trades block metadata against
+full-width index columns.  This ablation measures storage and Ttv time
+for each choice on a hyper-sparse tensor.
+"""
+
+import pytest
+
+from repro.generate import kronecker_tensor
+from repro.kernels import ghicoo_ttv
+from repro.sptensor import GHiCOOTensor, HiCOOTensor
+
+
+@pytest.fixture(scope="module")
+def hypersparse():
+    # ~1 nnz per block at B=128: HiCOO's worst case.
+    return kronecker_tensor((1 << 20, 1 << 20, 1 << 20), 20_000, seed=5)
+
+
+@pytest.mark.parametrize("comp", [(0,), (0, 1), (0, 1, 2)])
+def test_ghicoo_conversion(benchmark, hypersparse, comp):
+    g = benchmark(lambda: GHiCOOTensor.from_coo(hypersparse, 128, comp))
+    assert g.nnz == hypersparse.nnz
+
+
+def test_ghicoo_storage_beats_hicoo_on_hypersparse(hypersparse):
+    full = HiCOOTensor.from_coo(hypersparse, 128)
+    partial = GHiCOOTensor.from_coo(hypersparse, 128, (0, 1))
+    assert partial.nbytes < full.nbytes
+    assert full.compression_ratio() < 1.0  # HiCOO loses vs COO here
+
+
+@pytest.mark.parametrize("comp", [(0, 1)])
+def test_ghicoo_ttv_uncompressed_product_mode(
+    benchmark, hypersparse, comp
+):
+    import numpy as np
+
+    g = GHiCOOTensor.from_coo(hypersparse, 128, comp)
+    v = np.ones(hypersparse.shape[2], dtype=np.float32)
+    out = benchmark(lambda: ghicoo_ttv(g, v, 2))
+    assert out.nnz > 0

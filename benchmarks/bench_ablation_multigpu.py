@@ -1,0 +1,37 @@
+"""Ablation — multi-GPU scaling (paper future work: "multiple GPUs").
+
+Simulated DGX-1 strong scaling of Mttkrp (all-reduce bound) and Ttv
+(reduction-free) over 1-8 P100s.
+"""
+
+import pytest
+
+from repro.gpu import P100, multi_gpu_mttkrp, multi_gpu_ttv, scaling_sweep
+
+
+@pytest.mark.parametrize("ngpus", [1, 2, 4, 8])
+def test_mttkrp_scaling(benchmark, bench_tensor, bench_mats, ngpus):
+    res = benchmark(
+        lambda: multi_gpu_mttkrp(bench_tensor, bench_mats, 0, P100, ngpus)
+    )
+    assert res.ngpus == ngpus
+
+
+@pytest.mark.parametrize("ngpus", [1, 4])
+def test_ttv_scaling(benchmark, bench_tensor, bench_vectors, ngpus):
+    res = benchmark(
+        lambda: multi_gpu_ttv(bench_tensor, bench_vectors[2], 2, P100, ngpus)
+    )
+    assert res.allreduce_seconds == 0.0
+
+
+def test_strong_scaling_curve(bench_tensor, bench_mats):
+    rows = scaling_sweep(
+        lambda g: multi_gpu_mttkrp(bench_tensor, bench_mats, 0, P100, g),
+        [1, 2, 4, 8],
+    )
+    speedups = [r["speedup"] for r in rows]
+    assert speedups[0] == pytest.approx(1.0)
+    # monotone improvement but sub-linear (all-reduce + overhead)
+    assert speedups[-1] > 1.0
+    assert speedups[-1] < 8.0

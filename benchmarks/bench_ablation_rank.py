@@ -1,0 +1,42 @@
+"""Ablation — matrix rank R for Ttm and Mttkrp.
+
+The paper fixes R = 16 "to reflect the low-rank feature in popular
+tensor methods" and notes R < 100 in practice; this ablation sweeps R
+(work and OI scale with R — see Table 1) to show where the kernels leave
+the bandwidth-starved regime.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import coo_mttkrp, coo_ttm, mttkrp_cost, ttm_cost
+
+
+def _mats(shape, r, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.random((s, r)).astype(np.float32) for s in shape]
+
+
+@pytest.mark.parametrize("rank", [4, 16, 64])
+def test_ttm_rank(benchmark, bench_tensor, rank):
+    u = _mats(bench_tensor.shape, rank)[2]
+    out = benchmark(lambda: coo_ttm(bench_tensor, u, 2))
+    assert out.shape[2] == rank
+
+
+@pytest.mark.parametrize("rank", [4, 16, 64])
+def test_mttkrp_rank(benchmark, bench_tensor, rank):
+    mats = _mats(bench_tensor.shape, rank)
+    out = benchmark(lambda: coo_mttkrp(bench_tensor, mats, 0))
+    assert out.shape[1] == rank
+
+
+def test_oi_grows_with_rank():
+    """Table 1: Ttm OI tends to 1/2 and Mttkrp OI to 1/4 as R grows."""
+    m, mf = 1_000_000, 50_000
+    ttm_ois = [ttm_cost(m, mf, r).oi for r in (2, 16, 128)]
+    mtt_ois = [mttkrp_cost(m, r).oi for r in (2, 16, 128)]
+    assert ttm_ois == sorted(ttm_ois)
+    assert mtt_ois == sorted(mtt_ois)
+    assert abs(ttm_ois[-1] - 0.5) < 0.05
+    assert abs(mtt_ois[-1] - 0.25) < 0.01

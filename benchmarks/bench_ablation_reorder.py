@@ -1,0 +1,51 @@
+"""Ablation — tensor reordering for locality (Li et al. ICS'19, cited).
+
+Measures what reordering buys: HiCOO blocking quality (block count /
+occupancy) and Mttkrp time before and after degree/Lexi reordering.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import hicoo_mttkrp
+from repro.sptensor import (
+    HiCOOTensor,
+    blocking_quality,
+    degree_reorder,
+    lexi_reorder,
+    random_reorder,
+)
+
+
+@pytest.mark.parametrize("strategy", ["none", "random", "degree", "lexi"])
+def test_reorder_cost(benchmark, bench_tensor, strategy):
+    fn = {
+        "none": lambda: bench_tensor,
+        "random": lambda: random_reorder(bench_tensor, seed=0)[0],
+        "degree": lambda: degree_reorder(bench_tensor)[0],
+        "lexi": lambda: lexi_reorder(bench_tensor, sweeps=3)[0],
+    }[strategy]
+    out = benchmark(fn)
+    assert out.nnz == bench_tensor.nnz
+
+
+@pytest.mark.parametrize("strategy", ["none", "degree"])
+def test_hicoo_mttkrp_after_reorder(benchmark, bench_tensor, bench_mats, strategy):
+    if strategy == "none":
+        t = bench_tensor
+        mats = bench_mats
+    else:
+        t, perms = degree_reorder(bench_tensor)
+        mats = [m.copy() for m in bench_mats]
+        for mode, perm in perms.items():
+            mats[mode][perm] = bench_mats[mode]
+    h = HiCOOTensor.from_coo(t, 128)
+    out = benchmark(lambda: hicoo_mttkrp(h, mats, 0))
+    assert out.shape[0] == t.shape[0]
+
+
+def test_reordering_improves_blocking(bench_tensor):
+    base = blocking_quality(bench_tensor, 128)
+    deg = blocking_quality(degree_reorder(bench_tensor)[0], 128)
+    assert deg["nblocks"] <= base["nblocks"]
+    assert deg["alpha"] >= base["alpha"]

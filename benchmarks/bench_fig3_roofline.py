@@ -1,0 +1,50 @@
+"""Figure 3 — roofline models: regenerate the report and run the host
+ERT micro-kernels (the measurement ERT itself performs)."""
+
+from repro.bench import figure3, figure3_series
+from repro.roofline import measure_host
+from repro.roofline.ert import _bench_gemm, _bench_triad
+
+from conftest import save_report
+
+
+def test_regenerate_fig3(benchmark):
+    report = benchmark(figure3)
+    # 4 platforms x 5 kernels
+    assert len(report.rows) == 20
+    assert all(row[-1] for row in report.rows)  # all memory bound
+    save_report(report)
+
+
+def test_fig3_series_all_platforms(benchmark):
+    def gen():
+        return [
+            figure3_series(name)
+            for name in ("Bluesky", "Wingtip", "DGX-1P", "DGX-1V")
+        ]
+
+    reports = benchmark(gen)
+    for rep in reports:
+        assert len(rep.rows) > 10
+        save_report(rep)
+
+
+def test_ert_triad_dram(benchmark):
+    bw = benchmark(lambda: _bench_triad(4_000_000, repeats=1))
+    assert bw > 0
+
+
+def test_ert_triad_llc(benchmark):
+    bw = benchmark(lambda: _bench_triad(100_000, repeats=1))
+    assert bw > 0
+
+
+def test_ert_gemm(benchmark):
+    gf = benchmark(lambda: _bench_gemm(384, repeats=1))
+    assert gf > 0
+
+
+def test_host_characterization(benchmark):
+    host = benchmark(lambda: measure_host(2_000_000, 100_000))
+    assert host.ert_dram_bw_gbs > 0
+    assert host.llc_bw_ratio >= 1.0

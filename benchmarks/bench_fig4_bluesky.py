@@ -1,0 +1,30 @@
+"""Figure 4 — kernel performance on Bluesky (2-socket Skylake CPU)."""
+
+import pytest
+
+from repro.types import Format, Kernel
+
+from conftest import save_report
+from figcommon import REAL_KEYS, SYN_KEYS, check_report, platform_runner, regenerate_figure
+
+
+def test_regenerate_fig4_real(benchmark):
+    report = benchmark(lambda: regenerate_figure("fig4", "real", REAL_KEYS))
+    check_report(report)
+
+
+def test_regenerate_fig4_synthetic(benchmark):
+    report = benchmark(lambda: regenerate_figure("fig4", "synthetic", SYN_KEYS))
+    check_report(report)
+
+
+@pytest.mark.parametrize("kernel", list(Kernel))
+@pytest.mark.parametrize("fmt", [Format.COO, Format.HICOO])
+def test_kernel_on_bluesky(benchmark, bench_tensor, kernel, fmt):
+    """Host execution of each kernel under the Bluesky runner's config."""
+    from repro.bench import TensorBundle
+
+    runner = platform_runner("Bluesky")
+    bundle = TensorBundle.prepare("bench", bench_tensor, runner.config)
+    rec = benchmark(lambda: runner.run_kernel(bundle, kernel, fmt))
+    assert rec.gflops > 0

@@ -1,0 +1,36 @@
+"""Figure 5 — kernel performance on Wingtip (4-socket Haswell CPU).
+
+The paper's Observation 3 contrast: the 4-socket NUMA machine loses
+efficiency on non-streaming kernels relative to 2-socket Bluesky.
+"""
+
+import pytest
+
+from repro.metrics import average_efficiency
+from repro.types import Format, Kernel
+
+from figcommon import REAL_KEYS, SYN_KEYS, check_report, platform_runner, regenerate_figure
+
+
+def test_regenerate_fig5_real(benchmark):
+    report = benchmark(lambda: regenerate_figure("fig5", "real", REAL_KEYS))
+    check_report(report)
+
+
+def test_regenerate_fig5_synthetic(benchmark):
+    report = benchmark(lambda: regenerate_figure("fig5", "synthetic", SYN_KEYS))
+    check_report(report)
+    # Observation 3: Ttv efficiency on the 4-socket machine is poor.
+    eff = average_efficiency(report.records)
+    assert eff[("ttv", "coo")] < 0.35
+
+
+@pytest.mark.parametrize("kernel", list(Kernel))
+@pytest.mark.parametrize("fmt", [Format.COO, Format.HICOO])
+def test_kernel_on_wingtip(benchmark, bench_tensor, kernel, fmt):
+    from repro.bench import TensorBundle
+
+    runner = platform_runner("Wingtip")
+    bundle = TensorBundle.prepare("bench", bench_tensor, runner.config)
+    rec = benchmark(lambda: runner.run_kernel(bundle, kernel, fmt))
+    assert rec.gflops > 0

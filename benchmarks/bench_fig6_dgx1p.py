@@ -1,0 +1,45 @@
+"""Figure 6 — kernel performance on DGX-1P (Tesla P100, simulated)."""
+
+import pytest
+
+from repro.gpu import P100, gpu_coo_mttkrp, gpu_tew, gpu_ts, gpu_ttm, gpu_ttv
+
+from figcommon import REAL_KEYS, SYN_KEYS, check_report, regenerate_figure
+
+
+def test_regenerate_fig6_real(benchmark):
+    report = benchmark(lambda: regenerate_figure("fig6", "real", REAL_KEYS))
+    check_report(report)
+
+
+def test_regenerate_fig6_synthetic(benchmark):
+    report = benchmark(lambda: regenerate_figure("fig6", "synthetic", SYN_KEYS))
+    check_report(report)
+
+
+def test_gpu_tew_launch(benchmark, bench_tensor):
+    res = benchmark(
+        lambda: gpu_tew(bench_tensor, bench_tensor, "add", P100,
+                        assume_same_pattern=True)
+    )
+    assert res.seconds > 0
+
+
+def test_gpu_ts_launch(benchmark, bench_tensor):
+    res = benchmark(lambda: gpu_ts(bench_tensor, 1.5, "mul", P100))
+    assert res.seconds > 0
+
+
+def test_gpu_ttv_launch(benchmark, bench_tensor, bench_vectors):
+    res = benchmark(lambda: gpu_ttv(bench_tensor, bench_vectors[2], 2, P100))
+    assert res.timing.imbalance >= 1.0
+
+
+def test_gpu_ttm_launch(benchmark, bench_tensor, bench_mats):
+    res = benchmark(lambda: gpu_ttm(bench_tensor, bench_mats[2], 2, P100))
+    assert res.seconds > 0
+
+
+def test_gpu_mttkrp_launch(benchmark, bench_tensor, bench_mats):
+    res = benchmark(lambda: gpu_coo_mttkrp(bench_tensor, bench_mats, 0, P100))
+    assert res.timing.atomic_s > 0

@@ -1,0 +1,39 @@
+"""Figure 7 — kernel performance on DGX-1V (Tesla V100, simulated).
+
+V100 contrasts with P100 (paper Observation 2): twice the LLC, improved
+atomics, and independent int/fp datapaths — Mttkrp benefits most.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpu import P100, V100, gpu_coo_mttkrp, gpu_hicoo_mttkrp
+from repro.sptensor import HiCOOTensor
+
+from figcommon import REAL_KEYS, SYN_KEYS, check_report, regenerate_figure
+
+
+def test_regenerate_fig7_real(benchmark):
+    report = benchmark(lambda: regenerate_figure("fig7", "real", REAL_KEYS))
+    check_report(report)
+
+
+def test_regenerate_fig7_synthetic(benchmark):
+    report = benchmark(lambda: regenerate_figure("fig7", "synthetic", SYN_KEYS))
+    check_report(report)
+
+
+def test_gpu_mttkrp_v100_beats_p100(benchmark, bench_tensor, bench_mats):
+    res_v = benchmark(lambda: gpu_coo_mttkrp(bench_tensor, bench_mats, 0, V100))
+    res_p = gpu_coo_mttkrp(bench_tensor, bench_mats, 0, P100)
+    assert res_v.seconds < res_p.seconds  # Volta's atomics/caches win
+
+
+def test_gpu_hicoo_mttkrp_block_imbalance(benchmark, bench_tensor, bench_mats):
+    h = HiCOOTensor.from_coo(bench_tensor, 128)
+    res = benchmark(lambda: gpu_hicoo_mttkrp(h, bench_mats, 0, V100))
+    assert res.timing.notes["block_imbalance"] >= 1.0
+    # Observation 4: block-parallel HiCOO-Mttkrp does not beat COO on GPUs.
+    res_coo = gpu_coo_mttkrp(bench_tensor, bench_mats, 0, V100)
+    np.testing.assert_allclose(res.value, res_coo.value, rtol=1e-3)
+    assert res.seconds >= res_coo.seconds * 0.9

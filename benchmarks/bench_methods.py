@@ -1,0 +1,40 @@
+"""Tensor-method benchmarks: CP-ALS, Tucker HOOI, tensor power method.
+
+The paper motivates its kernels through these methods ("more complete
+tensor methods, such as CANDECOMP/PARAFAC and Tucker decompositions" are
+its future-work list); these benches time the full methods built on the
+suite's kernels, per format.
+"""
+
+import numpy as np
+import pytest
+
+from repro.methods import cp_als, tensor_power_method, symmetric_rank1_tensor, tucker_hooi
+from repro.sptensor import COOTensor, HiCOOTensor
+
+
+@pytest.fixture(scope="module")
+def cp_tensor():
+    return COOTensor.random((120, 100, 80), nnz=20_000, rng=3).astype(np.float64)
+
+
+@pytest.mark.parametrize("fmt", ["coo", "hicoo"])
+def test_cp_als_iteration(benchmark, cp_tensor, fmt):
+    x = cp_tensor if fmt == "coo" else HiCOOTensor.from_coo(cp_tensor, 64)
+    res = benchmark(lambda: cp_als(x, rank=16, n_iters=2, tol=0.0, seed=1))
+    assert res.n_iters == 2
+
+
+def test_tucker_hooi_iteration(benchmark, cp_tensor):
+    res = benchmark(lambda: tucker_hooi(cp_tensor, (8, 8, 8), n_iters=1, seed=2))
+    assert res.core.shape == (8, 8, 8)
+
+
+def test_power_method_component(benchmark):
+    rng = np.random.default_rng(0)
+    q, _ = np.linalg.qr(rng.standard_normal((40, 3)))
+    t = symmetric_rank1_tensor([5.0, 3.0, 1.0], q)
+    res = benchmark(
+        lambda: tensor_power_method(t, n_components=1, n_restarts=2, seed=1)
+    )
+    assert abs(res.eigenvalues[0] - 5.0) < 1e-2

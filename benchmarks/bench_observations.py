@@ -1,0 +1,20 @@
+"""Observations 1-5 — the paper's qualitative findings, regenerated."""
+
+from repro.bench import RunnerConfig, observations
+
+from conftest import save_report
+from figcommon import REAL_KEYS, SYN_KEYS
+
+
+def test_regenerate_observations(benchmark):
+    report = benchmark(
+        lambda: observations(
+            scale=2000.0,
+            keys_real=REAL_KEYS,
+            keys_syn=SYN_KEYS,
+            config=RunnerConfig(measure_host=False, cache_scale=2000.0),
+        )
+    )
+    save_report(report)
+    failures = [row for row in report.rows if row[-1] != "yes"]
+    assert not failures, f"observations failing: {failures}"

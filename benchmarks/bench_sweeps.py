@@ -1,0 +1,40 @@
+"""Parameter-sweep benchmarks (the `--exp sweep-*` studies)."""
+
+from repro.bench.sweeps import (
+    blocksize_sweep,
+    density_sweep,
+    nnz_sweep,
+    rank_sweep,
+)
+
+from conftest import save_report
+
+
+def test_sweep_nnz(benchmark):
+    rep = benchmark(
+        lambda: nnz_sweep(nnz_values=(1_000, 8_000, 64_000), cache_scale=2000)
+    )
+    save_report(rep)
+    assert len(rep.rows) == 6
+
+
+def test_sweep_rank(benchmark):
+    rep = benchmark(lambda: rank_sweep(ranks=(4, 16, 64), cache_scale=2000))
+    save_report(rep)
+    assert len(rep.rows) == 6
+
+
+def test_sweep_density(benchmark):
+    rep = benchmark(
+        lambda: density_sweep(densities=(1e-6, 1e-5, 1e-4), cache_scale=2000)
+    )
+    save_report(rep)
+    assert len(rep.rows) == 6
+
+
+def test_sweep_blocksize(benchmark):
+    rep = benchmark(
+        lambda: blocksize_sweep(block_sizes=(16, 64, 256), cache_scale=2000)
+    )
+    save_report(rep)
+    assert len(rep.rows) == 3

@@ -1,0 +1,65 @@
+"""Table 1 — kernel work/traffic/OI analysis + host kernel timings.
+
+Regenerates the Table 1 report and benchmarks each kernel's timed loop in
+both formats on the reference tensor so the measured flops/byte behaviour
+can be compared against the analytical OIs.
+"""
+
+import pytest
+
+from repro.bench import table1
+from repro.kernels import (
+    coo_mttkrp,
+    coo_tew,
+    coo_ts,
+    coo_ttm,
+    coo_ttv,
+    hicoo_mttkrp,
+    hicoo_tew,
+    hicoo_ts,
+    hicoo_ttm,
+    hicoo_ttv,
+)
+
+from conftest import RANK, save_report
+
+
+def test_regenerate_table1(benchmark):
+    report = benchmark(table1)
+    assert len(report.rows) == 5
+    save_report(report)
+
+
+@pytest.mark.parametrize("fmt", ["coo", "hicoo"])
+def test_tew(benchmark, bench_tensor, bench_hicoo, fmt):
+    x = bench_tensor if fmt == "coo" else bench_hicoo
+    fn = coo_tew if fmt == "coo" else hicoo_tew
+    benchmark(lambda: fn(x, x, "add", assume_same_pattern=True))
+
+
+@pytest.mark.parametrize("fmt", ["coo", "hicoo"])
+def test_ts(benchmark, bench_tensor, bench_hicoo, fmt):
+    x = bench_tensor if fmt == "coo" else bench_hicoo
+    fn = coo_ts if fmt == "coo" else hicoo_ts
+    benchmark(lambda: fn(x, 1.5, "mul"))
+
+
+@pytest.mark.parametrize("fmt", ["coo", "hicoo"])
+def test_ttv(benchmark, bench_tensor, bench_hicoo, bench_vectors, fmt):
+    x = bench_tensor if fmt == "coo" else bench_hicoo
+    fn = coo_ttv if fmt == "coo" else hicoo_ttv
+    benchmark(lambda: fn(x, bench_vectors[2], 2))
+
+
+@pytest.mark.parametrize("fmt", ["coo", "hicoo"])
+def test_ttm(benchmark, bench_tensor, bench_hicoo, bench_mats, fmt):
+    x = bench_tensor if fmt == "coo" else bench_hicoo
+    fn = coo_ttm if fmt == "coo" else hicoo_ttm
+    benchmark(lambda: fn(x, bench_mats[2], 2))
+
+
+@pytest.mark.parametrize("fmt", ["coo", "hicoo"])
+def test_mttkrp(benchmark, bench_tensor, bench_hicoo, bench_mats, fmt):
+    x = bench_tensor if fmt == "coo" else bench_hicoo
+    fn = coo_mttkrp if fmt == "coo" else hicoo_mttkrp
+    benchmark(lambda: fn(x, bench_mats, 0))

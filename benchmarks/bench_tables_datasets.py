@@ -1,0 +1,52 @@
+"""Tables 2-4 — dataset registries and platform table + generator timings."""
+
+import pytest
+
+from repro.bench import table2, table3, table4
+from repro.datasets import make_surrogate
+from repro.generate import get_synthetic, kronecker_tensor, powerlaw_tensor
+
+from conftest import BENCH_SCALE, save_report
+
+
+def test_regenerate_table2(benchmark):
+    report = benchmark(lambda: table2(scale=BENCH_SCALE))
+    assert len(report.rows) == 15
+    save_report(report)
+
+
+def test_regenerate_table3(benchmark):
+    report = benchmark(lambda: table3(scale=BENCH_SCALE))
+    assert len(report.rows) == 15
+    save_report(report)
+
+
+def test_regenerate_table4(benchmark):
+    report = benchmark(table4)
+    assert len(report.rows) == 4
+    save_report(report)
+
+
+def test_gen_kronecker(benchmark):
+    t = benchmark(lambda: kronecker_tensor((4096, 4096, 4096), 20_000, seed=1))
+    assert t.nnz == 20_000
+
+
+def test_gen_powerlaw(benchmark):
+    t = benchmark(
+        lambda: powerlaw_tensor((8192, 8192, 64), 20_000, dense_modes=(2,), seed=2)
+    )
+    assert t.nnz == 20_000
+
+
+@pytest.mark.parametrize("name", ["regS", "irrS", "irr2S4d"])
+def test_gen_table3_config(benchmark, name):
+    cfg = get_synthetic(name)
+    t = benchmark(lambda: cfg.generate(scale=BENCH_SCALE, seed=3))
+    assert t.nmodes == cfg.order
+
+
+@pytest.mark.parametrize("name", ["vast", "nell2", "uber4d"])
+def test_gen_table2_surrogate(benchmark, name):
+    t = benchmark(lambda: make_surrogate(name, scale=BENCH_SCALE, seed=4))
+    assert t.nnz > 0

@@ -1,0 +1,64 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks regenerate the paper's tables/figures (reports are written to
+``results/``) and time the suite's kernels on session-scoped tensors so
+``pytest benchmarks/ --benchmark-only`` doubles as a host performance run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.sptensor import COOTensor, HiCOOTensor
+from repro.generate import powerlaw_tensor, kronecker_tensor
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+#: Default downscale factor relative to the paper's datasets.
+BENCH_SCALE = 2000.0
+RANK = 16
+BLOCK = 128
+
+
+def save_report(report) -> str:
+    """Write a Report's CSV under results/ and return the path."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{report.exp_id}.csv")
+    report.save_csv(path)
+    return path
+
+
+@pytest.fixture(scope="session")
+def bench_tensor() -> COOTensor:
+    """The reference workload: a power-law tensor with a short dense mode
+    (the paper's irregular shape), ~50k nnz."""
+    t = powerlaw_tensor((6000, 6000, 48), nnz=50_000, dense_modes=(2,), seed=13)
+    return t.sort()
+
+
+@pytest.fixture(scope="session")
+def bench_kron_tensor() -> COOTensor:
+    """A Kronecker (regular, equidimensional) workload, ~50k nnz."""
+    return kronecker_tensor((4096, 4096, 4096), 50_000, seed=17).sort()
+
+
+@pytest.fixture(scope="session")
+def bench_hicoo(bench_tensor) -> HiCOOTensor:
+    return HiCOOTensor.from_coo(bench_tensor, BLOCK)
+
+
+@pytest.fixture(scope="session")
+def bench_vectors(bench_tensor):
+    rng = np.random.default_rng(0)
+    return [rng.random(s).astype(np.float32) for s in bench_tensor.shape]
+
+
+@pytest.fixture(scope="session")
+def bench_mats(bench_tensor):
+    rng = np.random.default_rng(1)
+    return [
+        rng.random((s, RANK)).astype(np.float32) for s in bench_tensor.shape
+    ]

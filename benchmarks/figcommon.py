@@ -1,0 +1,45 @@
+"""Shared driver for the Figures 4-7 benchmarks.
+
+Each figure file benchmarks (a) the modeled/simulated sweep that
+regenerates the figure's data series, and (b) the host execution of each
+kernel under that platform's runner, on a representative tensor subset.
+"""
+
+from __future__ import annotations
+
+from repro.bench import RunnerConfig, SuiteRunner, figure_perf
+from repro.roofline import get_platform
+
+from conftest import BENCH_SCALE, save_report
+
+#: Representative subsets (keys into Tables 2/3) keeping benches fast.
+REAL_KEYS = ["vast", "nell2", "darpa", "crime4d", "nips4d", "enron4d"]
+SYN_KEYS = ["regS", "regM", "irrS", "irrM", "regS4d", "irrS4d", "irr2S4d"]
+
+
+def regenerate_figure(fig_id: str, dataset: str, keys) -> "Report":
+    """Run the modeled sweep for one sub-figure and save its CSV."""
+    report = figure_perf(
+        fig_id,
+        dataset=dataset,
+        scale=BENCH_SCALE,
+        keys=keys,
+        config=RunnerConfig(measure_host=False, cache_scale=BENCH_SCALE),
+    )
+    report.exp_id = f"{fig_id}-{dataset}"
+    save_report(report)
+    return report
+
+
+def platform_runner(platform_name: str) -> SuiteRunner:
+    return SuiteRunner(
+        get_platform(platform_name),
+        RunnerConfig(measure_host=False, cache_scale=BENCH_SCALE),
+    )
+
+
+def check_report(report) -> None:
+    assert report.records, "figure sweep produced no records"
+    for rec in report.records:
+        assert rec.gflops >= 0
+        assert rec.bound_gflops > 0

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""CP decomposition of a sparse tensor with CP-ALS (Mttkrp workload).
+
+The paper motivates Mttkrp as the bottleneck of CANDECOMP/PARAFAC; this
+example plants a ground-truth rank-R structure, fits CP-ALS using the
+suite's sparse Mttkrp in *both* COO and HiCOO formats, and shows that
+(1) the fit recovers the planted structure, and (2) both formats walk the
+identical optimization trajectory.
+
+Run:  python examples/cp_decomposition.py
+"""
+
+import numpy as np
+
+from repro.methods import cp_als
+from repro.sptensor import COOTensor, HiCOOTensor
+from repro.sptensor.dense import outer
+
+
+def planted_lowrank_tensor(shape, rank, seed=0, factor_fill=0.3):
+    """An *exactly* rank-R sparse tensor: sum of outer products of sparse
+    factor columns (zeroing factor entries keeps the rank, unlike
+    thresholding the dense sum, which destroys it)."""
+    rng = np.random.default_rng(seed)
+    factors = []
+    for s in shape:
+        f = np.abs(rng.random((s, rank))) + 0.1
+        f[rng.random((s, rank)) > factor_fill] = 0.0
+        factors.append(f)
+    dense = np.zeros(shape)
+    for r in range(rank):
+        dense += outer([f[:, r] for f in factors])
+    return COOTensor.from_dense(dense)
+
+
+def main() -> None:
+    shape, true_rank = (60, 50, 40), 4
+    x = planted_lowrank_tensor(shape, true_rank, seed=3)
+    print(f"tensor: {x}  (planted rank {true_rank})")
+
+    res_coo = cp_als(x, rank=8, n_iters=40, seed=1)
+    print(
+        f"COO   CP-ALS: fit {res_coo.fits[-1]:.4f} after "
+        f"{res_coo.n_iters} iters (converged={res_coo.converged})"
+    )
+
+    h = HiCOOTensor.from_coo(x, 16)
+    res_hicoo = cp_als(h, rank=8, n_iters=40, seed=1)
+    print(
+        f"HiCOO CP-ALS: fit {res_hicoo.fits[-1]:.4f} after "
+        f"{res_hicoo.n_iters} iters"
+    )
+
+    assert res_coo.fits[-1] > 0.85, "CP-ALS failed to capture planted structure"
+    assert abs(res_coo.fits[-1] - res_hicoo.fits[-1]) < 1e-6, (
+        "COO and HiCOO Mttkrp produced different ALS trajectories"
+    )
+    print("\nfit trajectory (first 10):",
+          [round(f, 4) for f in res_coo.fits[:10]])
+    print("weights:", np.sort(res_coo.weights)[::-1].round(2))
+    print("OK: both formats agree and the planted structure is recovered")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Measured locality study: why HiCOO's Morton order helps (Observation 4).
+
+The paper attributes HiCOO's CPU advantage to "better data locality";
+this example makes that claim observable.  It generates a Kronecker
+tensor, extracts the *gather traces* of Ttv (the vector accesses in the
+order each layout visits non-zeros), and replays them through a simulated
+LRU cache — for plain sorted COO order, HiCOO's Morton block order, and a
+degree-reordered layout — then sweeps the cache size to find where the
+orders converge.
+
+Run:  python examples/locality_study.py
+"""
+
+from repro.cachesim import simulate_trace, ttv_gather_trace
+from repro.generate import kronecker_tensor
+from repro.sptensor import HiCOOTensor, degree_reorder
+from repro.util.tables import render_table
+
+
+def main() -> None:
+    x = kronecker_tensor((4096, 4096, 4096), 20_000, seed=0)
+    coo = x.copy().sort()
+    hic = HiCOOTensor.from_coo(coo, 128)
+    reord, _ = degree_reorder(coo)
+    reord.sort()
+    print(f"tensor: {x}")
+    print(f"hicoo:  {hic.nblocks} blocks, "
+          f"{x.nnz / hic.nblocks:.1f} nnz/block\n")
+
+    rows = []
+    for cache_kb in (2, 4, 8, 16, 64):
+        cache = cache_kb * 1024
+        for mode, label in ((0, "mode 0 (sort-major)"), (1, "mode 1"), (2, "mode 2")):
+            a = simulate_trace(ttv_gather_trace(coo, mode), cache)
+            b = simulate_trace(ttv_gather_trace(hic, mode), cache)
+            c = simulate_trace(ttv_gather_trace(reord, mode), cache)
+            rows.append(
+                [f"{cache_kb} KB", label,
+                 f"{a.miss_rate:.3f}", f"{b.miss_rate:.3f}",
+                 f"{c.miss_rate:.3f}"]
+            )
+    print(render_table(
+        ["cache", "gather mode", "COO order", "HiCOO (Morton)", "degree-reordered"],
+        rows,
+        title="Ttv vector-gather miss rates (LRU cache simulation)",
+    ))
+
+    print("""
+reading the table:
+ - on COO's sort-major mode 0, the sorted order is nearly sequential and
+   unbeatable — exactly the 'mode orientation' trade-off of Section 1;
+ - on modes 1 and 2, small caches punish COO's scattered gathers while
+   Morton-ordered blocks keep revisiting the same vector lines: the
+   measured mechanism behind HiCOO's CPU advantage (Observation 4);
+ - once the cache holds the whole gathered vector, the orders converge —
+   the cache-capacity crossover of Observation 2.""")
+
+    # sanity assertions matching the narrative
+    small = 4 * 1024
+    a = simulate_trace(ttv_gather_trace(coo, 1), small)
+    b = simulate_trace(ttv_gather_trace(hic, 1), small)
+    assert b.miss_rate < a.miss_rate
+    big = 1 << 22
+    a2 = simulate_trace(ttv_gather_trace(coo, 1), big)
+    b2 = simulate_trace(ttv_gather_trace(hic, 1), big)
+    assert abs(a2.miss_rate - b2.miss_rate) < 0.02
+    print("\nOK: Morton order wins on small caches, converges on large")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Runs the full harness — Tables 1-4, Figure 3 (rooflines), Figures 4-7
+(kernel performance on the four platforms) and the Observations 1-5
+check — at a configurable downscale factor, printing each report and
+writing CSVs under results/.  This is the script behind EXPERIMENTS.md.
+
+Run:  python examples/paper_figures.py [--scale 2000] [--quick]
+"""
+
+import argparse
+import os
+import sys
+import time
+
+from repro.bench import (
+    RunnerConfig,
+    figure3,
+    figure_perf,
+    observations,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+
+RESULTS = os.path.join(os.path.dirname(__file__), "..", "results")
+
+QUICK_REAL = ["vast", "nell2", "darpa", "crime4d", "nips4d", "enron4d"]
+QUICK_SYN = ["regS", "regM", "irrS", "irrM", "regS4d", "irrS4d", "irr2S4d"]
+
+
+def emit(report):
+    os.makedirs(RESULTS, exist_ok=True)
+    print(report.render())
+    print()
+    path = os.path.join(RESULTS, f"{report.exp_id}.csv")
+    report.save_csv(path)
+    print(f"[saved {path}]\n")
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--scale", type=float, default=2000.0,
+                    help="dataset downscale factor vs the paper (default 2000)")
+    ap.add_argument("--quick", action="store_true",
+                    help="restrict figures to a representative tensor subset")
+    ap.add_argument("--full-host", action="store_true",
+                    help="also measure host wall-clock for CPU figures (slower)")
+    args = ap.parse_args(argv)
+
+    t0 = time.time()
+    emit(table1())
+    emit(table2(scale=args.scale))
+    emit(table3(scale=args.scale))
+    emit(table4())
+    emit(figure3())
+
+    keys_real = QUICK_REAL if args.quick else None
+    keys_syn = QUICK_SYN if args.quick else None
+    for fig in ("fig4", "fig5", "fig6", "fig7"):
+        for dataset, keys in (("real", keys_real), ("synthetic", keys_syn)):
+            cfg = RunnerConfig(
+                measure_host=args.full_host and fig in ("fig4", "fig5"),
+                cache_scale=args.scale,
+                repeats=1,
+            )
+            rep = figure_perf(
+                fig, dataset=dataset, scale=args.scale, keys=keys, config=cfg
+            )
+            rep.exp_id = f"{fig}-{dataset}"
+            emit(rep)
+
+    emit(
+        observations(
+            scale=args.scale,
+            keys_real=keys_real,
+            keys_syn=keys_syn,
+        )
+    )
+    print(f"total: {time.time() - t0:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Orthogonal tensor decomposition via the tensor power method (Ttv).
+
+The paper motivates Ttv through the tensor power method used in latent-
+variable learning (Anandkumar et al.).  This example builds a symmetric
+tensor with known orthogonal components and recovers the components with
+the suite's sparse Ttv kernel, including sparse deflation via Tew.
+
+Run:  python examples/tensor_power_method.py
+"""
+
+import numpy as np
+
+from repro.methods import symmetric_rank1_tensor, tensor_power_method
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    dim, k = 40, 4
+    # Orthonormal ground-truth components with distinct weights.
+    q, _ = np.linalg.qr(rng.standard_normal((dim, k)))
+    weights = np.array([9.0, 6.5, 4.0, 2.0])
+    t = symmetric_rank1_tensor(weights, q)
+    print(f"symmetric tensor: {t}  (components: {k})")
+
+    result = tensor_power_method(t, n_components=k, n_restarts=6, seed=0)
+
+    print("\nrecovered vs true eigenvalues:")
+    for i, (lam, its) in enumerate(zip(result.eigenvalues, result.iterations)):
+        print(f"  lambda_{i}: {lam:8.4f}  (true {weights[i]:.1f}, "
+              f"{its} power iterations)")
+
+    # Verify recovery: eigenvalues match and eigenvectors align (up to sign).
+    for i in range(k):
+        assert abs(result.eigenvalues[i] - weights[i]) < 1e-2, "eigenvalue off"
+        align = abs(result.eigenvectors[i] @ q[:, i])
+        assert align > 0.999, f"component {i} misaligned ({align:.4f})"
+    print("\nOK: all components recovered via sparse Ttv + Tew deflation")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Benchmark harness: runner, CPU model, and table/figure experiments."""
+
+from repro.bench.cpumodel import CpuTiming, modeled_cpu_time
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    Report,
+    figure3,
+    figure3_series,
+    figure_perf,
+    observations,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from repro.bench.sweeps import (
+    blocksize_sweep,
+    density_sweep,
+    nnz_sweep,
+    rank_sweep,
+)
+from repro.bench.runner import (
+    ALL_KERNELS,
+    BENCH_FORMATS,
+    RunnerConfig,
+    SuiteRunner,
+    TensorBundle,
+)
+
+__all__ = [
+    "SuiteRunner",
+    "RunnerConfig",
+    "TensorBundle",
+    "ALL_KERNELS",
+    "BENCH_FORMATS",
+    "modeled_cpu_time",
+    "CpuTiming",
+    "Report",
+    "EXPERIMENTS",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "figure3",
+    "figure3_series",
+    "figure_perf",
+    "observations",
+    "nnz_sweep",
+    "rank_sweep",
+    "density_sweep",
+    "blocksize_sweep",
+]

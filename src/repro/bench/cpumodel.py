@@ -1,0 +1,148 @@
+"""Analytic CPU execution-time model for the paper's platforms.
+
+Substitution (DESIGN.md): the paper times C/OpenMP kernels on a 24-core
+Skylake (Bluesky) and a 56-core 4-socket Haswell (Wingtip).  Neither
+machine is available, so the harness *models* per-tensor execution time
+from the same quantities the hardware responds to.  The model is a sum of
+physically-motivated components, each visible in the returned breakdown:
+
+``T = T_mem + T_fiber + T_atomic + T_block``
+
+* ``T_mem``   — Table 1 bytes streamed at the ERT ceiling (LLC ceiling
+  when the working set fits, reproducing Observation 2's >100%
+  efficiencies on small tensors);
+* ``T_fiber`` — per-fiber loop overhead for Ttv/Ttm (reduction setup,
+  short-fiber tails, output-line ownership).  It scales with the *square*
+  of the NUMA factor — fiber outputs and gathered lines bounce across the
+  socket interconnect, a superlinear effect — and parallelizes only over
+  one socket's cores (the interconnect, not the core count, is the
+  bottleneck).  This separates Wingtip's poor Ttv from Bluesky's
+  (Observation 3).  Ttm pays the same per-fiber cost but moves R times
+  the bytes, so its efficiency stays high — exactly the paper's contrast;
+* ``T_atomic`` — Mttkrp's ``omp atomic`` updates: contended cache-line
+  ping-pong that parallelizes only as ``sqrt(cores)`` and worsens with
+  NUMA, which is why Mttkrp efficiency is single-digit on CPUs;
+* ``T_block`` — HiCOO-Mttkrp's per-tensor-block loop overhead (Tew/Ts/
+  Ttv/Ttm share the COO value loop and never iterate blocks,
+  paper Sec. 3.4.1).
+
+HiCOO variants get a *locality factor* on ``T_mem`` and ``T_fiber``
+(Morton-ordered blocks reuse LLC lines; Observation 4) that the GPU model
+deliberately lacks (GPU LLCs are too small to benefit).
+
+The time constants below were calibrated once against the paper's
+Observation 3 efficiency ranges (Bluesky Ttv/Ttm/Mttkrp ~31/64/6% COO,
+Wingtip ~9/52/9%); per-tensor variation then emerges from tensor features
+alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.types import DEFAULT_RANK, Format, Kernel
+from repro.roofline.oi import TensorFeatures, cost_for
+from repro.roofline.platform import PlatformSpec
+
+#: Per-fiber loop overhead (seconds) before NUMA/core scaling.
+C_FIBER = 4e-9
+#: Per atomic update overhead (seconds) before contention/core scaling.
+C_ATOMIC = 2.8e-9
+#: Per HiCOO-block loop overhead (seconds), Mttkrp only.
+C_BLOCK = 60e-9
+#: HiCOO locality factor on streamed bytes (CPU only).
+HICOO_MEM_FACTOR = 0.9
+#: HiCOO locality factor on fiber overhead (blocked fibers stay in LLC).
+HICOO_FIBER_FACTOR = 0.4
+
+
+@dataclass(frozen=True)
+class CpuTiming:
+    """Breakdown of one modeled CPU kernel execution."""
+
+    total_s: float
+    memory_s: float
+    fiber_s: float
+    atomic_s: float
+    block_s: float
+    effective_bw_gbs: float
+    cache_resident: bool
+
+
+def _numa_factor(platform: PlatformSpec) -> float:
+    """Penalty multiplier for socket-crossing irregular traffic."""
+    return 1.0 + platform.numa_penalty * (platform.sockets - 1)
+
+
+def modeled_cpu_time(
+    platform: PlatformSpec,
+    kernel: "Kernel | str",
+    fmt: "Format | str",
+    features: TensorFeatures,
+    r: int = DEFAULT_RANK,
+    mode: int | None = None,
+) -> CpuTiming:
+    """Model the execution time of one kernel on one paper CPU platform.
+
+    ``mode=None`` uses the mode-averaged fiber count (the paper averages
+    mode-oriented kernels over modes); pass a mode for per-mode times.
+    The platform's ``llc_bytes`` decides cache residency — benchmark
+    drivers running downscaled tensors scale it down in proportion (see
+    ``RunnerConfig.cache_scale``) so the paper's cache crossovers land on
+    the same relative tensor sizes.
+    """
+    kernel = Kernel.coerce(kernel)
+    fmt = Format.coerce(fmt)
+    cost = cost_for(features, kernel, fmt, r)
+    numa = _numa_factor(platform)
+    cores_per_socket = max(1, platform.cores // platform.sockets)
+
+    # Memory phase: Table 1 bytes at the cache-aware ERT ceiling.
+    resident = cost.bytes <= platform.llc_bytes
+    bw = platform.ert_llc_bw_gbs if resident else platform.ert_dram_bw_gbs
+    mem_bytes = cost.bytes
+    is_hicoo = fmt in (Format.HICOO, Format.GHICOO, Format.SHICOO)
+    if is_hicoo:
+        mem_bytes *= HICOO_MEM_FACTOR
+    t_mem = mem_bytes / (bw * 1e9)
+
+    # Fiber phase (Ttv/Ttm): per-fiber overhead on the socket interconnect.
+    t_fiber = 0.0
+    if kernel in (Kernel.TTV, Kernel.TTM):
+        mf = (
+            features.mf_per_mode[mode]
+            if mode is not None
+            else features.mf_avg
+        )
+        c = C_FIBER * (HICOO_FIBER_FACTOR if is_hicoo else 1.0)
+        t_fiber = mf * c * numa**2 / cores_per_socket
+
+    # Atomic phase (Mttkrp): contended scatter updates.
+    t_atomic = 0.0
+    if kernel is Kernel.MTTKRP:
+        if mode is not None:
+            conflicts = features.contention_per_mode[mode]
+        else:
+            conflicts = float(np.mean(features.contention_per_mode))
+        scale = max(1.0, np.log2(1.0 + conflicts) / 4.0)
+        t_atomic = (
+            features.nnz * r * C_ATOMIC * scale * numa / np.sqrt(platform.cores)
+        )
+
+    # Block phase: only HiCOO-Mttkrp iterates tensor blocks.
+    t_block = 0.0
+    if is_hicoo and kernel is Kernel.MTTKRP and features.nb > 0:
+        t_block = features.nb * C_BLOCK / platform.cores
+
+    total = t_mem + t_fiber + t_atomic + t_block
+    return CpuTiming(
+        total_s=total,
+        memory_s=t_mem,
+        fiber_s=t_fiber,
+        atomic_s=t_atomic,
+        block_s=t_block,
+        effective_bw_gbs=bw,
+        cache_resident=resident,
+    )

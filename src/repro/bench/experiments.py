@@ -1,0 +1,504 @@
+"""Reproduction of every table and figure of the paper's evaluation.
+
+Each ``table*``/``figure*`` function returns a :class:`Report` with the
+rows the paper prints (tables) or plots (figures become data series).  The
+CLI (``python -m repro bench --exp <id>``) and the pytest benchmarks in
+``benchmarks/`` both drive these functions.
+
+Scale: figures run against downscaled datasets (default ``scale=1000`` —
+nnz shrunk 1000x, density regimes preserved; see DESIGN.md).  Absolute
+GFLOPS therefore differ from the paper; the *shapes* — kernel ordering,
+COO vs HiCOO, platform contrasts, above-roofline cache cases — are the
+reproduction targets, checked in :func:`observations`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.types import DEFAULT_RANK, Format, Kernel
+from repro.bench.runner import RunnerConfig, SuiteRunner
+from repro.datasets.registry import REAL_TENSORS
+from repro.datasets.surrogate import surrogate_nnz, surrogate_shape, surrogate_suite
+from repro.generate.registry import SYNTHETIC_TENSORS, generate_suite
+from repro.metrics.perf import PERF_HEADERS, PerfRecord
+from repro.metrics.stats import average_efficiency, average_gflops, gflops_range
+from repro.roofline.model import RooflineModel
+from repro.roofline.platform import PLATFORMS, get_platform
+from repro.util.tables import render_table, write_csv
+
+
+@dataclass
+class Report:
+    """One reproduced table or figure."""
+
+    exp_id: str
+    title: str
+    headers: list[str]
+    rows: list[list]
+    notes: list[str] = field(default_factory=list)
+    records: list[PerfRecord] = field(default_factory=list)
+
+    def render(self) -> str:
+        text = render_table(self.headers, self.rows, title=f"{self.exp_id}: {self.title}")
+        if self.notes:
+            text += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return text
+
+    def render_chart(self, width: int = 36) -> str:
+        """ASCII bar-chart view of a performance figure (records only)."""
+        from repro.util.charts import perf_records_chart
+
+        if not self.records:
+            return self.render()
+        head = f"{self.exp_id}: {self.title}\n" + "=" * 60
+        return head + "\n" + perf_records_chart(self.records, width=width)
+
+    def save_csv(self, path) -> None:
+        write_csv(path, self.headers, self.rows)
+
+
+# --------------------------------------------------------------------- #
+# Tables
+# --------------------------------------------------------------------- #
+def table1(m: int = 1_000_000, mf: int = 50_000, r: int = DEFAULT_RANK) -> Report:
+    """Table 1: work, memory traffic and OI per kernel (COO and HiCOO),
+    instantiated for a representative third-order tensor."""
+    from repro.kernels.flops import kernel_cost
+
+    nb = max(1, m // 64)
+    rows = []
+    symbolic = {
+        Kernel.TEW: ("M", "12M", "12M", "1/12"),
+        Kernel.TS: ("M", "8M", "8M", "1/8"),
+        Kernel.TTV: ("2M", "12M + 12MF", "12M + 12MF", "~1/6"),
+        Kernel.TTM: ("2MR", "4MR+4MFR+8M+8MF", "4MR+4MFR+8M+8MF", "~1/2"),
+        Kernel.MTTKRP: ("3MR", "12MR + 16M", "12R min{nb*B, M} + 7M + 20nb", "~1/4"),
+    }
+    for kernel in Kernel:
+        coo = kernel_cost(kernel, Format.COO, m, mf=mf, r=r, nb=nb)
+        hic = kernel_cost(kernel, Format.HICOO, m, mf=mf, r=r, nb=nb)
+        sym = symbolic[kernel]
+        rows.append(
+            [
+                kernel.value,
+                sym[0],
+                sym[1],
+                sym[2],
+                sym[3],
+                coo.flops,
+                coo.bytes,
+                hic.bytes,
+                round(coo.oi, 4),
+                round(hic.oi, 4),
+            ]
+        )
+    return Report(
+        "table1",
+        "Kernel analysis for third-order tensors "
+        f"(example: M={m}, MF={mf}, R={r}, nb={nb}, B=128)",
+        [
+            "kernel",
+            "work",
+            "bytes(COO)",
+            "bytes(HiCOO)",
+            "OI",
+            "flops@example",
+            "coo_bytes@example",
+            "hicoo_bytes@example",
+            "coo_oi",
+            "hicoo_oi",
+        ],
+        rows,
+    )
+
+
+def table2(scale: float = 1000.0) -> Report:
+    """Table 2: the 15 real tensors, plus the surrogate each maps to."""
+    rows = []
+    for info in REAL_TENSORS:
+        rows.append(
+            [
+                info.key,
+                info.name,
+                info.order,
+                " x ".join(f"{s:,}" for s in info.shape),
+                info.nnz,
+                f"{info.density:.2e}",
+                " x ".join(str(s) for s in surrogate_shape(info, scale)),
+                surrogate_nnz(info, scale),
+                info.domain,
+            ]
+        )
+    return Report(
+        "table2",
+        "Real sparse tensors (paper metadata + surrogate at scale "
+        f"{scale:g})",
+        [
+            "no.",
+            "tensor",
+            "order",
+            "paper dims",
+            "paper nnz",
+            "density",
+            "surrogate dims",
+            "surrogate nnz",
+            "domain",
+        ],
+        rows,
+        notes=[
+            "surrogates are power-law tensors matching order/shape-ratio/"
+            "density (FROSTT/HaTen2/CHOA data unavailable offline; see "
+            "DESIGN.md substitutions)"
+        ],
+    )
+
+
+def table3(scale: float = 1000.0) -> Report:
+    """Table 3: the 15 synthetic generator configurations."""
+    rows = []
+    for cfg in SYNTHETIC_TENSORS:
+        rows.append(
+            [
+                cfg.key,
+                cfg.name,
+                {"kron": "Kron.", "pl": "PL"}[cfg.generator],
+                cfg.order,
+                " x ".join(f"{s:,}" for s in cfg.paper_shape),
+                cfg.paper_nnz,
+                f"{cfg.paper_density:.2e}",
+                " x ".join(str(s) for s in cfg.scaled_shape(scale)),
+                cfg.scaled_nnz(scale),
+            ]
+        )
+    return Report(
+        "table3",
+        f"Synthetic tensors (Kronecker / power-law; scaled by {scale:g})",
+        [
+            "no.",
+            "tensor",
+            "gen.",
+            "order",
+            "paper dims",
+            "paper nnz",
+            "density",
+            "scaled dims",
+            "scaled nnz",
+        ],
+        rows,
+    )
+
+
+def table4() -> Report:
+    """Table 4: platform parameters."""
+    rows = []
+    for p in PLATFORMS:
+        rows.append(
+            [
+                p.name,
+                p.processor,
+                p.microarch,
+                p.freq_ghz,
+                p.cores,
+                p.peak_sp_gflops / 1000.0,
+                p.llc_bytes // 1024**2,
+                p.mem_gb,
+                p.mem_type,
+                p.mem_bw_gbs,
+                p.ert_dram_bw_gbs,
+                p.compiler,
+            ]
+        )
+    return Report(
+        "table4",
+        "Platform parameters (Table 4) with modeled ERT-DRAM ceilings",
+        [
+            "platform",
+            "processor",
+            "microarch",
+            "GHz",
+            "cores",
+            "peak TFLOPS",
+            "LLC MB",
+            "mem GB",
+            "mem type",
+            "BW GB/s",
+            "ERT-DRAM GB/s",
+            "compiler",
+        ],
+        rows,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Figure 3: rooflines
+# --------------------------------------------------------------------- #
+def figure3() -> Report:
+    """Figure 3: roofline models of the four platforms with the Table 1
+    kernel OIs marked on the ERT-DRAM line."""
+    rows = []
+    for p in PLATFORMS:
+        model = RooflineModel(p)
+        for mark in model.kernel_marks():
+            rows.append(
+                [
+                    p.name,
+                    mark.kernel.value,
+                    round(mark.oi, 4),
+                    round(mark.attainable_gflops, 2),
+                    round(model.attainable(mark.oi, "llc"), 2),
+                    p.peak_sp_gflops,
+                    round(p.ridge_oi, 2),
+                    model.memory_bound_kernels(),
+                ]
+            )
+    return Report(
+        "fig3",
+        "Roofline models with tensor-kernel operational intensities",
+        [
+            "platform",
+            "kernel",
+            "oi",
+            "ert_dram_gflops",
+            "ert_llc_gflops",
+            "peak_gflops",
+            "ridge_oi",
+            "all_memory_bound",
+        ],
+        rows,
+        notes=[
+            "every kernel OI lies far left of each platform's ridge point: "
+            "all five kernels are memory bound on all four platforms"
+        ],
+    )
+
+
+def figure3_series(platform_name: str) -> Report:
+    """The continuous roofline curves of one platform (plot data)."""
+    p = get_platform(platform_name)
+    model = RooflineModel(p)
+    rows = [
+        [pt["oi"], pt["ert_dram"], pt["ert_llc"], pt["theoretical_dram"], pt["peak"]]
+        for pt in model.series()
+    ]
+    return Report(
+        f"fig3-{p.name.lower()}",
+        f"Roofline series for {p.name}",
+        ["oi", "ert_dram", "ert_llc", "theoretical_dram", "peak"],
+        rows,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Figures 4-7: kernel performance per platform
+# --------------------------------------------------------------------- #
+_FIG_PLATFORM = {
+    "fig4": "Bluesky",
+    "fig5": "Wingtip",
+    "fig6": "DGX-1P",
+    "fig7": "DGX-1V",
+}
+
+
+def _dataset(kind: str, scale: float, seed: int, keys=None):
+    if kind == "real":
+        return surrogate_suite(keys=keys, scale=scale, seed=seed)
+    if kind == "synthetic":
+        return generate_suite(keys=keys, scale=scale, seed=seed)
+    raise ValueError(f"unknown dataset kind {kind!r}")
+
+
+def figure_perf(
+    fig_id: str,
+    dataset: str = "both",
+    scale: float = 1000.0,
+    seed: int = 0,
+    keys: Sequence[str] | None = None,
+    config: RunnerConfig | None = None,
+) -> Report:
+    """Figures 4-7: single-precision GFLOPS of the five kernels in COO and
+    HiCOO on one platform, with the per-tensor roofline bound.
+
+    ``dataset``: "real" reproduces sub-figure (a), "synthetic" (b),
+    "both" concatenates them.
+    """
+    platform = get_platform(_FIG_PLATFORM[fig_id])
+    if config is None:
+        config = RunnerConfig(cache_scale=scale)
+    elif config.cache_scale == 1.0:
+        config.cache_scale = scale
+    runner = SuiteRunner(platform, config)
+    kinds = ("real", "synthetic") if dataset == "both" else (dataset,)
+    records: list[PerfRecord] = []
+    for kind in kinds:
+        tensors = _dataset(kind, scale, seed, keys)
+        records.extend(runner.run_dataset(tensors))
+    rows = [r.as_row() for r in records]
+    avg_g = average_gflops(records)
+    notes = [
+        f"avg GFLOPS {k[0]}/{k[1]}: {v:.2f}" for k, v in sorted(avg_g.items())
+    ]
+    return Report(
+        fig_id,
+        f"Kernel performance on {platform.name} ({dataset} dataset, "
+        f"scale {scale:g})",
+        PERF_HEADERS,
+        rows,
+        notes=notes,
+        records=records,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Observations 1-5
+# --------------------------------------------------------------------- #
+def observations(
+    scale: float = 2000.0,
+    seed: int = 0,
+    keys_real: Sequence[str] | None = None,
+    keys_syn: Sequence[str] | None = None,
+    config: RunnerConfig | None = None,
+) -> Report:
+    """Check the paper's five qualitative observations on the downscaled
+    datasets across all four platforms."""
+    if config is None:
+        config = RunnerConfig(measure_host=False, cache_scale=scale)
+    elif config.cache_scale == 1.0:
+        config.cache_scale = scale
+    per_platform: dict[str, list[PerfRecord]] = {}
+    real = _dataset("real", scale, seed, keys_real)
+    syn = _dataset("synthetic", scale, seed, keys_syn)
+    tensors = {**real, **syn}
+    for p in PLATFORMS:
+        runner = SuiteRunner(p, config)
+        per_platform[p.name] = runner.run_dataset(tensors)
+
+    rows = []
+
+    def add(obs, platform, statement, value, holds):
+        rows.append([obs, platform, statement, value, "yes" if holds else "NO"])
+
+    # Obs 1: diverse performance, wide ranges.
+    for name, recs in per_platform.items():
+        lo, hi = gflops_range(recs)
+        add("1", name, "GFLOPS spread min..max", f"{lo:.2f}..{hi:.2f}", hi > 5 * max(lo, 1e-9))
+
+    # Obs 2: most below roofline; some small/cache-resident above.
+    for name, recs in per_platform.items():
+        above = [r for r in recs if r.efficiency > 1.0]
+        frac_above = len(above) / len(recs)
+        add(
+            "2",
+            name,
+            "fraction of cases above roofline (most should be below)",
+            f"{frac_above:.2%}",
+            frac_above < 0.5,
+        )
+
+    # Obs 3: NUMA CPUs struggle on non-streaming kernels; Wingtip (4-socket)
+    # Ttv efficiency below Bluesky's.
+    eff_bs = average_efficiency(per_platform["Bluesky"])
+    eff_wt = average_efficiency(per_platform["Wingtip"])
+    add(
+        "3",
+        "Wingtip vs Bluesky",
+        "4-socket Ttv efficiency below 2-socket",
+        f"{eff_wt[('ttv', 'coo')]:.2%} < {eff_bs[('ttv', 'coo')]:.2%}",
+        eff_wt[("ttv", "coo")] < eff_bs[("ttv", "coo")],
+    )
+    add(
+        "3",
+        "Bluesky",
+        "Mttkrp efficiency single-digit on CPUs",
+        f"{eff_bs[('mttkrp', 'coo')]:.2%}",
+        eff_bs[("mttkrp", "coo")] < 0.15,
+    )
+
+    # Obs 4: HiCOO >= COO for Tew/Ts/Ttv on CPUs; HiCOO-Mttkrp worse on GPUs.
+    g_bs = average_gflops(per_platform["Bluesky"])
+    for kern in ("tew", "ts", "ttv"):
+        add(
+            "4",
+            "Bluesky",
+            f"HiCOO {kern} >= COO {kern} (avg GFLOPS)",
+            f"{g_bs[(kern, 'hicoo')]:.2f} vs {g_bs[(kern, 'coo')]:.2f}",
+            g_bs[(kern, "hicoo")] >= 0.95 * g_bs[(kern, "coo")],
+        )
+    for gpu in ("DGX-1P", "DGX-1V"):
+        g = average_gflops(per_platform[gpu])
+        add(
+            "4",
+            gpu,
+            "HiCOO-Mttkrp slower than COO-Mttkrp on GPU",
+            f"{g[('mttkrp', 'hicoo')]:.2f} vs {g[('mttkrp', 'coo')]:.2f}",
+            g[("mttkrp", "hicoo")] <= g[("mttkrp", "coo")] * 1.05,
+        )
+
+    # Obs 5: real vs synthetic datasets behave differently.  The paper's
+    # claim is per-kernel (synthetic data shows clean size-period trends,
+    # real data does not), so compare per-kernel means rather than one
+    # aggregate: most kernels should see the datasets disagree.
+    real_names = set(real)
+    for name, recs in per_platform.items():
+        differing = 0
+        combos = 0
+        for kern in ("tew", "ts", "ttv", "ttm", "mttkrp"):
+            r_real = [
+                r.gflops for r in recs
+                if r.tensor in real_names and r.kernel == kern and r.fmt == "coo"
+            ]
+            r_syn = [
+                r.gflops for r in recs
+                if r.tensor not in real_names and r.kernel == kern and r.fmt == "coo"
+            ]
+            if not r_real or not r_syn:
+                continue
+            combos += 1
+            mr, ms = float(np.mean(r_real)), float(np.mean(r_syn))
+            if abs(mr - ms) > 0.05 * max(mr, ms):
+                differing += 1
+        add(
+            "5",
+            name,
+            "per-kernel real vs synthetic means differ (>5%)",
+            f"{differing}/{combos} kernels",
+            differing >= max(1, combos // 2),
+        )
+
+    return Report(
+        "observations",
+        "Paper Observations 1-5 checked on the downscaled datasets",
+        ["obs", "platform", "statement", "value", "holds"],
+        rows,
+    )
+
+
+def _sweep_exp(name):
+    def run(**kw):
+        from repro.bench import sweeps
+
+        fn = getattr(sweeps, f"{name}_sweep")
+        return fn(cache_scale=kw.get("scale", 1000.0))
+
+    return run
+
+
+EXPERIMENTS = {
+    "table1": lambda **kw: table1(),
+    "table2": lambda **kw: table2(scale=kw.get("scale", 1000.0)),
+    "table3": lambda **kw: table3(scale=kw.get("scale", 1000.0)),
+    "table4": lambda **kw: table4(),
+    "fig3": lambda **kw: figure3(),
+    "fig4": lambda **kw: figure_perf("fig4", **kw),
+    "fig5": lambda **kw: figure_perf("fig5", **kw),
+    "fig6": lambda **kw: figure_perf("fig6", **kw),
+    "fig7": lambda **kw: figure_perf("fig7", **kw),
+    "observations": lambda **kw: observations(**kw),
+    "sweep-nnz": _sweep_exp("nnz"),
+    "sweep-rank": _sweep_exp("rank"),
+    "sweep-density": _sweep_exp("density"),
+    "sweep-blocksize": _sweep_exp("blocksize"),
+}

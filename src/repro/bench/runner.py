@@ -1,0 +1,285 @@
+"""Benchmark driver: run the five kernels over tensors, formats, platforms.
+
+For every (tensor, kernel, format) the runner produces a
+:class:`~repro.metrics.perf.PerfRecord` with
+
+* the paper-platform execution time — modeled analytically for the two
+  CPU platforms (:mod:`repro.bench.cpumodel`) and simulated for the two
+  GPUs (:mod:`repro.gpu`);
+* the *measured host* wall-clock of the actual NumPy kernel (the paper's
+  measurement protocol: warm-up + averaged repeats, mode-oriented kernels
+  averaged over modes);
+* the per-tensor roofline bound and efficiency.
+
+The paper benchmarks Tew via addition and Ts via multiplication with both
+operands sharing a pattern (Sec. 5.1.2); the runner follows that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.types import DEFAULT_BLOCK_SIZE, DEFAULT_RANK, Format, Kernel
+from repro.kernels import (
+    coo_mttkrp,
+    coo_tew,
+    coo_ts,
+    coo_ttm,
+    coo_ttv,
+    hicoo_mttkrp,
+    hicoo_tew,
+    hicoo_ts,
+    hicoo_ttm,
+    hicoo_ttv,
+)
+from repro.bench.cpumodel import modeled_cpu_time
+from repro.gpu.device import DeviceSpec
+from repro.gpu.kernels import (
+    gpu_coo_mttkrp,
+    gpu_hicoo_mttkrp,
+    gpu_tew,
+    gpu_ts,
+    gpu_ttm,
+    gpu_ttv,
+)
+from repro.metrics.perf import PerfRecord, efficiency, gflops
+from repro.metrics.stats import mean_over_modes
+from repro.parallel.backend import Backend, get_backend
+from repro.roofline.model import RooflineModel
+from repro.roofline.oi import TensorFeatures, cost_for, extract_features
+from repro.roofline.platform import PlatformSpec
+from repro.sptensor.coo import COOTensor
+from repro.sptensor.hicoo import HiCOOTensor
+from repro.util.prng import rng_from_seed
+from repro.util.timing import time_call
+
+ALL_KERNELS = (Kernel.TEW, Kernel.TS, Kernel.TTV, Kernel.TTM, Kernel.MTTKRP)
+BENCH_FORMATS = (Format.COO, Format.HICOO)
+
+
+@dataclass
+class RunnerConfig:
+    """Knobs of a benchmark sweep (paper defaults)."""
+
+    rank: int = DEFAULT_RANK
+    block_size: int = DEFAULT_BLOCK_SIZE
+    repeats: int = 3  # paper uses 5; 3 keeps suite runtime modest
+    warmup: int = 1
+    measure_host: bool = True
+    backend: "Backend | str | None" = None
+    kernels: Sequence[Kernel] = ALL_KERNELS
+    formats: Sequence[Format] = BENCH_FORMATS
+    seed: int = 0
+    #: Datasets are downscaled by this factor relative to the paper's
+    #: (DESIGN.md); the platform caches are scaled down in proportion so
+    #: the cache crossovers of Observation 2 land on the same *relative*
+    #: tensor sizes.  1.0 = paper-scale tensors.
+    cache_scale: float = 1.0
+
+
+@dataclass
+class TensorBundle:
+    """One tensor prepared in every representation the sweep needs."""
+
+    name: str
+    coo: COOTensor
+    hicoo: HiCOOTensor
+    features: TensorFeatures
+    vectors: list  # one per mode
+    matrices: list  # one per mode, (I_m, R)
+
+    @classmethod
+    def prepare(
+        cls,
+        name: str,
+        tensor: COOTensor,
+        config: RunnerConfig,
+    ) -> "TensorBundle":
+        rng = rng_from_seed(config.seed)
+        coo = tensor.copy().sort()
+        hicoo = HiCOOTensor.from_coo(coo, config.block_size)
+        feats = extract_features(coo, name, config.block_size, hicoo)
+        vectors = [
+            rng.random(s).astype(np.float32) for s in coo.shape
+        ]
+        matrices = [
+            rng.random((s, config.rank)).astype(np.float32)
+            for s in coo.shape
+        ]
+        return cls(name, coo, hicoo, feats, vectors, matrices)
+
+
+class SuiteRunner:
+    """Runs the suite's kernels against one paper platform."""
+
+    def __init__(
+        self,
+        platform: PlatformSpec,
+        config: RunnerConfig | None = None,
+        device: DeviceSpec | None = None,
+    ):
+        self.config = config or RunnerConfig()
+        if self.config.cache_scale > 1.0:
+            platform = platform.with_overrides(
+                llc_bytes=max(4096, int(platform.llc_bytes / self.config.cache_scale))
+            )
+        self.platform = platform
+        self.roofline = RooflineModel(platform)
+        if platform.is_gpu and device is None:
+            device = DeviceSpec.from_platform(
+                platform,
+                address_overlap=0.6 if platform.microarch == "Volta" else 0.0,
+            )
+            if self.config.cache_scale > 1.0:
+                device = device.scaled(self.config.cache_scale)
+        self.device = device
+        self.backend = get_backend(self.config.backend)
+
+    # ------------------------------------------------------------------ #
+    def run_tensor(
+        self, name: str, tensor: COOTensor
+    ) -> list[PerfRecord]:
+        """All configured (kernel, format) pairs on one tensor."""
+        bundle = TensorBundle.prepare(name, tensor, self.config)
+        records = []
+        for kernel in self.config.kernels:
+            for fmt in self.config.formats:
+                records.append(self.run_kernel(bundle, kernel, fmt))
+        return records
+
+    def run_kernel(
+        self,
+        bundle: TensorBundle,
+        kernel: "Kernel | str",
+        fmt: "Format | str",
+    ) -> PerfRecord:
+        kernel = Kernel.coerce(kernel)
+        fmt = Format.coerce(fmt)
+        cost = cost_for(bundle.features, kernel, fmt, self.config.rank)
+        bound = self.roofline.attainable(cost.oi)
+        if self.platform.is_gpu:
+            seconds, host_seconds, extra = self._gpu_time(bundle, kernel, fmt)
+        else:
+            timing = modeled_cpu_time(
+                self.platform, kernel, fmt, bundle.features, self.config.rank
+            )
+            seconds = timing.total_s
+            extra = {
+                "memory_s": timing.memory_s,
+                "fiber_s": timing.fiber_s,
+                "atomic_s": timing.atomic_s,
+                "cache_resident": timing.cache_resident,
+            }
+            host_seconds = (
+                self._host_time(bundle, kernel, fmt)
+                if self.config.measure_host
+                else 0.0
+            )
+        g = gflops(cost.flops, seconds)
+        return PerfRecord(
+            tensor=bundle.name,
+            kernel=kernel.value,
+            fmt=fmt.value,
+            platform=self.platform.name,
+            flops=cost.flops,
+            seconds=seconds,
+            gflops=g,
+            bound_gflops=bound,
+            efficiency=efficiency(g, bound),
+            host_seconds=host_seconds,
+            host_gflops=gflops(cost.flops, host_seconds),
+            extra=extra,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _host_time(self, bundle: TensorBundle, kernel: Kernel, fmt: Format) -> float:
+        """Measured wall-clock of the NumPy kernel on this machine."""
+        cfg = self.config
+        x = bundle.coo if fmt is Format.COO else bundle.hicoo
+        be = self.backend
+        if kernel is Kernel.TEW:
+            fn = (
+                (lambda: coo_tew(x, x, "add", be, assume_same_pattern=True))
+                if fmt is Format.COO
+                else (lambda: hicoo_tew(x, x, "add", be, assume_same_pattern=True))
+            )
+            return time_call(fn, cfg.repeats, cfg.warmup).seconds
+        if kernel is Kernel.TS:
+            fn = (
+                (lambda: coo_ts(x, 1.5, "mul", be))
+                if fmt is Format.COO
+                else (lambda: hicoo_ts(x, 1.5, "mul", be))
+            )
+            return time_call(fn, cfg.repeats, cfg.warmup).seconds
+        # Mode-oriented kernels: average over all modes (paper protocol).
+        times = []
+        for mode in range(bundle.coo.nmodes):
+            if kernel is Kernel.TTV:
+                v = bundle.vectors[mode]
+                fn = (
+                    (lambda: coo_ttv(bundle.coo, v, mode, be))
+                    if fmt is Format.COO
+                    else (lambda: hicoo_ttv(bundle.hicoo, v, mode, be))
+                )
+            elif kernel is Kernel.TTM:
+                u = bundle.matrices[mode]
+                fn = (
+                    (lambda: coo_ttm(bundle.coo, u, mode, be))
+                    if fmt is Format.COO
+                    else (lambda: hicoo_ttm(bundle.hicoo, u, mode, be))
+                )
+            elif kernel is Kernel.MTTKRP:
+                fn = (
+                    (lambda: coo_mttkrp(bundle.coo, bundle.matrices, mode, be))
+                    if fmt is Format.COO
+                    else (lambda: hicoo_mttkrp(bundle.hicoo, bundle.matrices, mode, be))
+                )
+            else:  # pragma: no cover - exhaustive above
+                raise ValueError(kernel)
+            times.append(time_call(fn, cfg.repeats, cfg.warmup).seconds)
+        return mean_over_modes(times)
+
+    def _gpu_time(
+        self, bundle: TensorBundle, kernel: Kernel, fmt: Format
+    ) -> tuple[float, float, dict]:
+        """Simulated GPU time (mode-averaged), plus the host wall-clock of
+        the numeric execution embedded in the simulation."""
+        dev = self.device
+        x = bundle.coo if fmt is Format.COO else bundle.hicoo
+        host = 0.0
+        if kernel is Kernel.TEW:
+            res = gpu_tew(x, x, "add", dev, assume_same_pattern=True)
+            return res.seconds, host, dict(res.timing.notes, imbalance=res.timing.imbalance)
+        if kernel is Kernel.TS:
+            res = gpu_ts(x, 1.5, "mul", dev)
+            return res.seconds, host, dict(res.timing.notes, imbalance=res.timing.imbalance)
+        times, notes = [], {}
+        for mode in range(bundle.coo.nmodes):
+            if kernel is Kernel.TTV:
+                res = gpu_ttv(x, bundle.vectors[mode], mode, dev)
+            elif kernel is Kernel.TTM:
+                res = gpu_ttm(x, bundle.matrices[mode], mode, dev)
+            elif kernel is Kernel.MTTKRP:
+                res = (
+                    gpu_coo_mttkrp(x, bundle.matrices, mode, dev)
+                    if fmt is Format.COO
+                    else gpu_hicoo_mttkrp(x, bundle.matrices, mode, dev)
+                )
+            else:  # pragma: no cover - exhaustive above
+                raise ValueError(kernel)
+            times.append(res.seconds)
+            notes = dict(res.timing.notes, imbalance=res.timing.imbalance)
+        return mean_over_modes(times), host, notes
+
+    # ------------------------------------------------------------------ #
+    def run_dataset(
+        self, tensors: dict[str, COOTensor]
+    ) -> list[PerfRecord]:
+        """Run the full sweep over a named tensor collection."""
+        records: list[PerfRecord] = []
+        for name, tensor in tensors.items():
+            records.extend(self.run_tensor(name, tensor))
+        return records

@@ -1,0 +1,158 @@
+"""Parameter sweeps: performance as a function of one tensor knob.
+
+The paper's figures hold parameters fixed (R=16, B=128) and vary the
+tensor; these sweeps do the converse — vary one knob over a controlled
+tensor family and report the modeled platform performance — which is how
+the crossovers behind the observations (cache capacity, block occupancy,
+rank amortization) are located precisely.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.types import Format, Kernel
+from repro.bench.experiments import Report
+from repro.bench.runner import RunnerConfig, SuiteRunner, TensorBundle
+from repro.generate.powerlaw import powerlaw_tensor
+from repro.roofline.platform import BLUESKY, PlatformSpec, get_platform
+from repro.sptensor.coo import COOTensor
+
+
+def _runner(platform, cache_scale: float) -> SuiteRunner:
+    cfg = RunnerConfig(measure_host=False, cache_scale=cache_scale)
+    return SuiteRunner(platform, cfg)
+
+
+def nnz_sweep(
+    nnz_values: Sequence[int] = (1_000, 4_000, 16_000, 64_000, 256_000),
+    shape: tuple[int, ...] = (1 << 16, 1 << 16, 64),
+    kernel: "Kernel | str" = Kernel.TS,
+    platform_name: str = "Bluesky",
+    cache_scale: float = 1000.0,
+    seed: int = 0,
+) -> Report:
+    """Performance vs non-zero count — locates the cache crossover of
+    Observation 2 (small tensors above the DRAM roofline)."""
+    kernel = Kernel.coerce(kernel)
+    runner = _runner(get_platform(platform_name), cache_scale)
+    rows = []
+    for i, nnz in enumerate(nnz_values):
+        t = powerlaw_tensor(shape, nnz, dense_modes=(2,), seed=seed + i)
+        bundle = TensorBundle.prepare(f"nnz{nnz}", t, runner.config)
+        for fmt in (Format.COO, Format.HICOO):
+            rec = runner.run_kernel(bundle, kernel, fmt)
+            rows.append(
+                [nnz, fmt.value, rec.gflops, rec.bound_gflops,
+                 rec.efficiency, rec.extra.get("cache_resident", "")]
+            )
+    return Report(
+        f"sweep-nnz-{kernel.value}",
+        f"{kernel.value} performance vs nnz on {platform_name} "
+        f"(cache crossover study)",
+        ["nnz", "format", "gflops", "bound", "efficiency", "cache_resident"],
+        rows,
+    )
+
+
+def rank_sweep(
+    ranks: Sequence[int] = (2, 4, 8, 16, 32, 64),
+    nnz: int = 50_000,
+    shape: tuple[int, ...] = (1 << 14, 1 << 14, 48),
+    kernel: "Kernel | str" = Kernel.MTTKRP,
+    platform_name: str = "Bluesky",
+    cache_scale: float = 1000.0,
+    seed: int = 1,
+) -> Report:
+    """Performance vs matrix rank R — Table 1's OI grows with R, so the
+    kernels climb the roofline until compute effects flatten them."""
+    kernel = Kernel.coerce(kernel)
+    platform = get_platform(platform_name)
+    t = powerlaw_tensor(shape, nnz, dense_modes=(2,), seed=seed)
+    rows = []
+    for r in ranks:
+        cfg = RunnerConfig(rank=r, measure_host=False, cache_scale=cache_scale)
+        runner = SuiteRunner(platform, cfg)
+        bundle = TensorBundle.prepare(f"r{r}", t, cfg)
+        for fmt in (Format.COO, Format.HICOO):
+            rec = runner.run_kernel(bundle, kernel, fmt)
+            rows.append([r, fmt.value, rec.gflops, rec.bound_gflops, rec.efficiency])
+    return Report(
+        f"sweep-rank-{kernel.value}",
+        f"{kernel.value} performance vs rank R on {platform_name}",
+        ["rank", "format", "gflops", "bound", "efficiency"],
+        rows,
+    )
+
+
+def density_sweep(
+    densities: Sequence[float] = (1e-7, 1e-6, 1e-5, 1e-4),
+    nnz: int = 40_000,
+    kernel: "Kernel | str" = Kernel.MTTKRP,
+    platform_name: str = "Bluesky",
+    cache_scale: float = 1000.0,
+    seed: int = 2,
+) -> Report:
+    """Performance vs density at fixed nnz (dimension sizes vary):
+    sparser tensors spread over more HiCOO blocks, eroding its advantage
+    — the gHiCOO motivation, swept."""
+    kernel = Kernel.coerce(kernel)
+    runner = _runner(get_platform(platform_name), cache_scale)
+    rows = []
+    for i, density in enumerate(densities):
+        # cubical 3rd-order with dense short mode of 32
+        side = max(8, int(round((nnz / (density * 32)) ** 0.5)))
+        t = powerlaw_tensor(
+            (side, side, 32), min(nnz, side * side * 16),
+            dense_modes=(2,), seed=seed + i,
+        )
+        bundle = TensorBundle.prepare(f"d{density:g}", t, runner.config)
+        alpha = bundle.features.nnz / max(bundle.features.nb, 1)
+        for fmt in (Format.COO, Format.HICOO):
+            rec = runner.run_kernel(bundle, kernel, fmt)
+            rows.append(
+                [f"{density:g}", side, fmt.value, round(alpha, 2),
+                 rec.gflops, rec.efficiency]
+            )
+    return Report(
+        f"sweep-density-{kernel.value}",
+        f"{kernel.value} performance vs density on {platform_name} "
+        "(HiCOO block-occupancy erosion)",
+        ["density", "side", "format", "nnz_per_block", "gflops", "efficiency"],
+        rows,
+    )
+
+
+def blocksize_sweep(
+    block_sizes: Sequence[int] = (8, 16, 32, 64, 128, 256),
+    tensor: COOTensor | None = None,
+    kernel: "Kernel | str" = Kernel.MTTKRP,
+    platform: PlatformSpec = BLUESKY,
+    cache_scale: float = 1000.0,
+    seed: int = 3,
+) -> Report:
+    """Modeled performance and storage vs HiCOO block size B."""
+    kernel = Kernel.coerce(kernel)
+    if tensor is None:
+        tensor = powerlaw_tensor(
+            (1 << 14, 1 << 14, 48), 50_000, dense_modes=(2,), seed=seed
+        )
+    rows = []
+    for b in block_sizes:
+        cfg = RunnerConfig(
+            block_size=b, measure_host=False, cache_scale=cache_scale
+        )
+        runner = SuiteRunner(platform, cfg)
+        bundle = TensorBundle.prepare(f"B{b}", tensor, cfg)
+        rec = runner.run_kernel(bundle, kernel, Format.HICOO)
+        rows.append(
+            [b, bundle.hicoo.nblocks,
+             round(tensor.nnz / max(bundle.hicoo.nblocks, 1), 2),
+             bundle.hicoo.nbytes, rec.gflops, rec.efficiency]
+        )
+    return Report(
+        f"sweep-blocksize-{kernel.value}",
+        f"HiCOO {kernel.value} vs block size B on {platform.name}",
+        ["B", "nblocks", "nnz_per_block", "hicoo_bytes", "gflops", "efficiency"],
+        rows,
+    )

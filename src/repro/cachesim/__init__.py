@@ -1,0 +1,17 @@
+"""Cache simulation substrate: LRU caches + kernel gather traces."""
+
+from repro.cachesim.cache import CacheStats, LRUCache, simulate_trace
+from repro.cachesim.trace import (
+    measure_gather_locality,
+    mttkrp_gather_trace,
+    ttv_gather_trace,
+)
+
+__all__ = [
+    "LRUCache",
+    "CacheStats",
+    "simulate_trace",
+    "ttv_gather_trace",
+    "mttkrp_gather_trace",
+    "measure_gather_locality",
+]

@@ -1,0 +1,255 @@
+"""Command-line interface: ``python -m repro`` / ``pasta-bench``.
+
+Subcommands
+-----------
+``info``      — suite version, platforms, host ERT characterization.
+``generate``  — synthesize a tensor (Kronecker / power-law / a Table 2
+                surrogate / a Table 3 config) to ``.tns`` or ``.npz``.
+``bench``     — reproduce a paper table or figure (``--exp table1 ...
+                fig7 observations``), print it, optionally save CSV.
+``convert``   — convert a tensor file between ``.tns`` and ``.npz`` and
+                print format statistics (COO/HiCOO sizes, block stats).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+
+def _cmd_info(args) -> int:
+    import repro
+    from repro.roofline import PLATFORMS, RooflineModel, measure_host
+
+    print(f"repro {repro.__version__} — parallel sparse tensor benchmark suite")
+    print(f"kernels: tew ts ttv ttm mttkrp | formats: coo hicoo ghicoo scoo shicoo csf")
+    print()
+    for p in PLATFORMS:
+        model = RooflineModel(p)
+        print(
+            f"  {p.name:8s} {p.processor:24s} peak {p.peak_sp_gflops:>8.0f} GF "
+            f"ERT-DRAM {p.ert_dram_bw_gbs:>6.1f} GB/s ridge OI {p.ridge_oi:.2f}"
+        )
+    if args.ert:
+        print("\nhost ERT characterization (NumPy micro-kernels):")
+        host = measure_host()
+        print(
+            f"  GEMM {host.peak_sp_gflops:.1f} GFLOPS, "
+            f"triad DRAM {host.ert_dram_bw_gbs:.1f} GB/s, "
+            f"LLC/DRAM ratio {host.llc_bw_ratio:.2f}"
+        )
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from repro.sptensor import save_npz, write_tns
+
+    if args.kind == "kron":
+        from repro.generate import kronecker_tensor
+
+        tensor = kronecker_tensor(args.shape, args.nnz, seed=args.seed)
+    elif args.kind == "pl":
+        from repro.generate import powerlaw_tensor
+
+        tensor = powerlaw_tensor(
+            args.shape, args.nnz, alpha=args.alpha,
+            dense_modes=args.dense_modes or (), seed=args.seed,
+        )
+    elif args.kind == "table3":
+        from repro.generate import get_synthetic
+
+        tensor = get_synthetic(args.name).generate(scale=args.scale, seed=args.seed)
+    elif args.kind == "table2":
+        from repro.datasets import make_surrogate
+
+        tensor = make_surrogate(args.name, scale=args.scale, seed=args.seed)
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(args.kind)
+    out = args.output
+    if out.endswith(".npz"):
+        save_npz(tensor, out)
+    else:
+        write_tns(tensor, out)
+    print(f"wrote {tensor!r} -> {out}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench import EXPERIMENTS
+
+    kwargs = {"scale": args.scale}
+    if args.exp in ("fig4", "fig5", "fig6", "fig7"):
+        kwargs["dataset"] = args.dataset
+        kwargs["seed"] = args.seed
+        if args.tensors:
+            kwargs["keys"] = args.tensors
+    report = EXPERIMENTS[args.exp](**kwargs)
+    if args.chart and report.records:
+        print(report.render_chart())
+    else:
+        print(report.render())
+    if args.csv:
+        os.makedirs(os.path.dirname(args.csv) or ".", exist_ok=True)
+        report.save_csv(args.csv)
+        print(f"\nsaved CSV -> {args.csv}")
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    from repro.sptensor import (
+        HiCOOTensor,
+        block_stats,
+        load_npz,
+        read_tns,
+        save_npz,
+        summarize,
+        write_tns,
+    )
+
+    tensor = load_npz(args.input) if args.input.endswith(".npz") else read_tns(args.input)
+    s = summarize(tensor, os.path.basename(args.input))
+    print(
+        f"{s.name}: order {s.order}, shape {s.shape}, nnz {s.nnz}, "
+        f"density {s.density:.3e}, fibers/mode {s.fibers_per_mode}"
+    )
+    h = HiCOOTensor.from_coo(tensor, args.block_size)
+    bs = block_stats(h)
+    print(
+        f"COO {tensor.nbytes} B | HiCOO {h.nbytes} B "
+        f"(ratio {h.compression_ratio():.2f}, nb {bs.nblocks}, "
+        f"alpha {bs.alpha:.2f})"
+    )
+    if args.output:
+        if args.output.endswith(".npz"):
+            save_npz(tensor, args.output)
+        else:
+            write_tns(tensor, args.output)
+        print(f"wrote -> {args.output}")
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from repro.roofline import get_platform
+    from repro.sptensor import load_npz, read_tns
+    from repro.tune import recommend_format
+
+    tensor = (
+        load_npz(args.input)
+        if args.input.endswith(".npz")
+        else read_tns(args.input)
+    )
+    rec = recommend_format(
+        tensor, kernels=args.kernels, platform=get_platform(args.platform)
+    )
+    print(rec)
+    return 0
+
+
+def _cmd_selfcheck(args) -> int:
+    from repro.sptensor import COOTensor, load_npz, read_tns
+    from repro.validate import validate_tensor
+
+    if args.input:
+        tensor = (
+            load_npz(args.input)
+            if args.input.endswith(".npz")
+            else read_tns(args.input)
+        )
+        name = os.path.basename(args.input)
+    else:
+        tensor = COOTensor.random(args.shape, args.nnz, rng=args.seed)
+        name = f"random{tuple(args.shape)}"
+    report = validate_tensor(tensor, name=name, seed=args.seed)
+    print(report.render())
+    return 0 if report.passed else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pasta-bench",
+        description="Parallel sparse tensor benchmark suite (PPoPP'20 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="suite and platform information")
+    p_info.add_argument("--ert", action="store_true", help="run host ERT micro-kernels")
+    p_info.set_defaults(func=_cmd_info)
+
+    p_gen = sub.add_parser("generate", help="generate a synthetic tensor")
+    p_gen.add_argument("--kind", choices=["kron", "pl", "table3", "table2"], required=True)
+    p_gen.add_argument("--shape", type=int, nargs="+", help="dimensions (kron/pl)")
+    p_gen.add_argument("--nnz", type=int, help="non-zeros (kron/pl)")
+    p_gen.add_argument("--alpha", type=float, default=2.0, help="power-law exponent")
+    p_gen.add_argument("--dense-modes", type=int, nargs="*", help="uniform modes (pl)")
+    p_gen.add_argument("--name", help="registry name for table2/table3 kinds")
+    p_gen.add_argument("--scale", type=float, default=1000.0, help="downscale factor")
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("-o", "--output", required=True, help=".tns or .npz path")
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_bench = sub.add_parser("bench", help="reproduce a paper table/figure")
+    p_bench.add_argument(
+        "--exp",
+        required=True,
+        choices=[
+            "table1", "table2", "table3", "table4",
+            "fig3", "fig4", "fig5", "fig6", "fig7", "observations",
+            "sweep-nnz", "sweep-rank", "sweep-density", "sweep-blocksize",
+        ],
+    )
+    p_bench.add_argument("--scale", type=float, default=1000.0)
+    p_bench.add_argument("--dataset", choices=["real", "synthetic", "both"], default="both")
+    p_bench.add_argument("--tensors", nargs="*", help="restrict to these tensors")
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--csv", help="also save the rows to this CSV path")
+    p_bench.add_argument(
+        "--chart", action="store_true",
+        help="render performance figures as ASCII bar charts",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
+
+    p_conv = sub.add_parser("convert", help="convert/inspect a tensor file")
+    p_conv.add_argument("input", help=".tns or .npz file")
+    p_conv.add_argument("-o", "--output", help="output .tns or .npz path")
+    p_conv.add_argument("--block-size", type=int, default=128)
+    p_conv.set_defaults(func=_cmd_convert)
+
+    p_tune = sub.add_parser(
+        "tune",
+        help="recommend a format and block size for a tensor file",
+    )
+    p_tune.add_argument("input", help=".tns or .npz file")
+    p_tune.add_argument(
+        "--kernels", nargs="+", default=["mttkrp"],
+        choices=["tew", "ts", "ttv", "ttm", "mttkrp"],
+    )
+    p_tune.add_argument("--platform", default="Bluesky")
+    p_tune.set_defaults(func=_cmd_tune)
+
+    p_check = sub.add_parser(
+        "selfcheck",
+        help="cross-format/kernel consistency check on a tensor file or "
+        "a generated tensor",
+    )
+    p_check.add_argument("input", nargs="?", help=".tns/.npz file (optional)")
+    p_check.add_argument("--shape", type=int, nargs="+", default=[60, 50, 40])
+    p_check.add_argument("--nnz", type=int, default=2000)
+    p_check.add_argument("--seed", type=int, default=0)
+    p_check.set_defaults(func=_cmd_selfcheck)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "generate" and args.kind in ("kron", "pl"):
+        if not args.shape or not args.nnz:
+            parser.error("--shape and --nnz are required for kron/pl generation")
+    if args.command == "generate" and args.kind in ("table2", "table3") and not args.name:
+        parser.error("--name is required for table2/table3 generation")
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Real-tensor metadata (Table 2) and surrogate generation."""
+
+from repro.datasets.registry import REAL_TENSORS, RealTensorInfo, get_real
+from repro.datasets.surrogate import (
+    DENSE_MODE_THRESHOLD,
+    make_surrogate,
+    surrogate_nnz,
+    surrogate_shape,
+    surrogate_suite,
+)
+
+__all__ = [
+    "REAL_TENSORS",
+    "RealTensorInfo",
+    "get_real",
+    "make_surrogate",
+    "surrogate_shape",
+    "surrogate_nnz",
+    "surrogate_suite",
+    "DENSE_MODE_THRESHOLD",
+]

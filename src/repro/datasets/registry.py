@@ -1,0 +1,87 @@
+"""Real-world tensor registry — the paper's Table 2.
+
+The paper benchmarks 15 tensors from FROSTT, HaTen2 and the CHOA
+electronic-medical-records collection.  Those files are large (26-144M
+non-zeros), some are private (choa), and this environment has no network,
+so the registry stores the exact Table 2 metadata and the suite
+synthesizes *surrogate* stand-ins (see :mod:`repro.datasets.surrogate`)
+matching each tensor's order, dimension ratios and density regime.  The
+benchmark harness runs against the surrogates; EXPERIMENTS.md records the
+substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RealTensorInfo:
+    """One row of Table 2."""
+
+    key: str  # r1..r15
+    name: str
+    shape: tuple[int, ...]
+    nnz: int
+    domain: str
+    source: str  # FROSTT / HaTen2 / CHOA
+
+    @property
+    def order(self) -> int:
+        return len(self.shape)
+
+    @property
+    def density(self) -> float:
+        cap = 1.0
+        for s in self.shape:
+            cap *= float(s)
+        return self.nnz / cap
+
+
+#: Table 2, sorted by order then decreasing density as in the paper.
+REAL_TENSORS: tuple[RealTensorInfo, ...] = (
+    RealTensorInfo("r1", "vast", (165_000, 11_000, 2), 26_000_000,
+                   "pattern recognition", "FROSTT"),
+    RealTensorInfo("r2", "nell2", (12_000, 9_000, 29_000), 77_000_000,
+                   "natural language processing", "FROSTT"),
+    RealTensorInfo("r3", "choa", (712_000, 10_000, 767), 27_000_000,
+                   "healthcare analytics", "CHOA"),
+    RealTensorInfo("r4", "darpa", (22_000, 22_000, 24_000_000), 28_000_000,
+                   "anomaly detection", "HaTen2"),
+    RealTensorInfo("r5", "fb-m", (23_000_000, 23_000_000, 166), 100_000_000,
+                   "social network", "HaTen2"),
+    RealTensorInfo("r6", "fb-s", (39_000_000, 39_000_000, 532), 140_000_000,
+                   "social network", "HaTen2"),
+    RealTensorInfo("r7", "flickr", (320_000, 28_000_000, 1_600_000),
+                   113_000_000, "recommendation systems", "FROSTT"),
+    RealTensorInfo("r8", "deli", (533_000, 17_000_000, 2_500_000),
+                   140_000_000, "recommendation systems", "FROSTT"),
+    RealTensorInfo("r9", "nell1", (2_900_000, 2_100_000, 25_000_000),
+                   144_000_000, "natural language processing", "FROSTT"),
+    RealTensorInfo("r10", "crime4d", (6_000, 24, 77, 32), 5_000_000,
+                   "crime detection", "FROSTT"),
+    RealTensorInfo("r11", "uber4d", (183, 24, 1_140, 1_717), 3_000_000,
+                   "transportation", "FROSTT"),
+    RealTensorInfo("r12", "nips4d", (2_000, 3_000, 14_000, 17), 3_000_000,
+                   "pattern recognition", "FROSTT"),
+    RealTensorInfo("r13", "enron4d", (6_000, 6_000, 244_000, 1_000),
+                   54_000_000, "anomaly detection", "FROSTT"),
+    RealTensorInfo("r14", "flickr4d", (320_000, 28_000_000, 1_600_000, 731),
+                   113_000_000, "recommendation systems", "FROSTT"),
+    RealTensorInfo("r15", "deli4d", (533_000, 17_000_000, 2_500_000, 1_000),
+                   140_000_000, "recommendation systems", "FROSTT"),
+)
+
+_BY_KEY = {t.key: t for t in REAL_TENSORS}
+_BY_NAME = {t.name: t for t in REAL_TENSORS}
+
+
+def get_real(key_or_name: str) -> RealTensorInfo:
+    """Look up a Table 2 row by key ("r4") or name ("darpa")."""
+    info = _BY_KEY.get(key_or_name) or _BY_NAME.get(key_or_name)
+    if info is None:
+        raise KeyError(
+            f"unknown real tensor {key_or_name!r}; "
+            f"known: {sorted(_BY_KEY)} / {sorted(_BY_NAME)}"
+        )
+    return info

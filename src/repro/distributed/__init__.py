@@ -1,0 +1,25 @@
+"""Simulated distributed-memory substrate and distributed tensor kernels."""
+
+from repro.distributed.comm import (
+    DEFAULT_BW_GBS,
+    DEFAULT_LATENCY_S,
+    SimNetwork,
+)
+from repro.distributed.mttkrp import (
+    DistributedCPResult,
+    DistributedResult,
+    distributed_cp_als,
+    distributed_mttkrp,
+    partition_nnz,
+)
+
+__all__ = [
+    "SimNetwork",
+    "DEFAULT_LATENCY_S",
+    "DEFAULT_BW_GBS",
+    "partition_nnz",
+    "distributed_mttkrp",
+    "DistributedResult",
+    "distributed_cp_als",
+    "DistributedCPResult",
+]

@@ -1,0 +1,127 @@
+"""Simulated message-passing substrate for distributed tensor kernels.
+
+The paper lists "distributed systems" among the platforms the suite will
+grow to; this module provides the substrate: an SPMD simulation in which
+``nranks`` logical processes hold private data and communicate through
+collectives whose *results* are computed exactly (NumPy reductions) and
+whose *costs* follow the standard LogGP-flavored models:
+
+* point-to-point:  ``t = latency + bytes / bw``
+* ring all-reduce: ``t = 2 (n-1) latency + 2 (n-1)/n x bytes / bw``
+* all-gather:      ``t = (n-1) latency + (n-1)/n x total_bytes / bw``
+
+Each rank carries a clock; local work advances one clock, collectives
+synchronize all participating clocks (barrier semantics) and add the
+collective's cost.  The makespan is the maximum clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+#: Defaults loosely modeling a 100 Gb/s (12.5 GB/s) fabric.
+DEFAULT_LATENCY_S = 2e-6
+DEFAULT_BW_GBS = 12.5
+
+
+@dataclass
+class SimNetwork:
+    """The shared interconnect state of an SPMD simulation."""
+
+    nranks: int
+    latency_s: float = DEFAULT_LATENCY_S
+    bw_gbs: float = DEFAULT_BW_GBS
+    clocks: np.ndarray = field(init=False)
+    bytes_moved: float = field(init=False, default=0.0)
+    collectives: int = field(init=False, default=0)
+
+    def __post_init__(self):
+        if self.nranks < 1:
+            raise ShapeError("need at least one rank")
+        self.clocks = np.zeros(self.nranks, dtype=np.float64)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def makespan(self) -> float:
+        """Simulated elapsed time so far."""
+        return float(self.clocks.max())
+
+    def local_work(self, rank: int, seconds: float) -> None:
+        """Advance one rank's clock by local computation time."""
+        if not 0 <= rank < self.nranks:
+            raise ShapeError(f"rank {rank} out of range")
+        self.clocks[rank] += max(0.0, seconds)
+
+    def barrier(self) -> None:
+        """Synchronize every clock to the latest rank."""
+        self.clocks[:] = self.clocks.max()
+
+    # ------------------------------------------------------------------ #
+    def ptp_time(self, nbytes: float) -> float:
+        return self.latency_s + nbytes / (self.bw_gbs * 1e9)
+
+    def allreduce_time(self, nbytes: float) -> float:
+        n = self.nranks
+        if n == 1:
+            return 0.0
+        return 2 * (n - 1) * self.latency_s + 2 * (n - 1) / n * nbytes / (
+            self.bw_gbs * 1e9
+        )
+
+    def allgather_time(self, total_bytes: float) -> float:
+        n = self.nranks
+        if n == 1:
+            return 0.0
+        return (n - 1) * self.latency_s + (n - 1) / n * total_bytes / (
+            self.bw_gbs * 1e9
+        )
+
+    # ------------------------------------------------------------------ #
+    def allreduce(self, contributions: Sequence[np.ndarray]) -> np.ndarray:
+        """Sum one array per rank; every rank receives the total.
+
+        Synchronizes the clocks (the collective is blocking) and charges
+        the ring cost for the array size.
+        """
+        if len(contributions) != self.nranks:
+            raise ShapeError(
+                f"allreduce needs {self.nranks} contributions, got "
+                f"{len(contributions)}"
+            )
+        arrays = [np.asarray(a) for a in contributions]
+        shape = arrays[0].shape
+        if any(a.shape != shape for a in arrays):
+            raise ShapeError("allreduce contributions must share a shape")
+        total = np.sum(np.stack(arrays), axis=0)
+        self.barrier()
+        cost = self.allreduce_time(total.nbytes)
+        self.clocks += cost
+        self.bytes_moved += total.nbytes * 2 * (self.nranks - 1) / max(self.nranks, 1)
+        self.collectives += 1
+        return total
+
+    def allgather(self, pieces: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Every rank receives the list of all ranks' pieces."""
+        if len(pieces) != self.nranks:
+            raise ShapeError(
+                f"allgather needs {self.nranks} pieces, got {len(pieces)}"
+            )
+        arrays = [np.asarray(p) for p in pieces]
+        total_bytes = float(sum(a.nbytes for a in arrays))
+        self.barrier()
+        cost = self.allgather_time(total_bytes)
+        self.clocks += cost
+        self.bytes_moved += total_bytes * (self.nranks - 1) / max(self.nranks, 1)
+        self.collectives += 1
+        return arrays
+
+    def reduce_scatter(self, contributions: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Sum per-rank arrays and hand each rank a 1/n row-slice."""
+        total = self.allreduce(contributions)  # cost model: ~same ring
+        bounds = np.linspace(0, total.shape[0], self.nranks + 1).astype(int)
+        return [total[bounds[r]:bounds[r + 1]] for r in range(self.nranks)]

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the sparse tensor benchmark suite."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all suite-specific errors."""
+
+
+class ShapeError(ReproError, ValueError):
+    """Tensor shapes are inconsistent for the requested operation."""
+
+
+class ModeError(ReproError, ValueError):
+    """A mode (dimension) argument is out of range or otherwise invalid."""
+
+
+class FormatError(ReproError, ValueError):
+    """A tensor is stored in a format unsupported by the operation."""
+
+
+class PatternMismatchError(ReproError, ValueError):
+    """Two tensors do not share the non-zero pattern required by a fast path."""
+
+
+class GenerationError(ReproError, RuntimeError):
+    """A synthetic tensor generator could not satisfy its parameters."""
+
+
+class BenchmarkError(ReproError, RuntimeError):
+    """The benchmark harness hit an unrecoverable condition."""

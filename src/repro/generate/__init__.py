@@ -1,0 +1,40 @@
+"""Synthetic tensor generation: Kronecker, power-law, and Table 3 registry."""
+
+from repro.generate.graph import (
+    clustering_coefficient,
+    degree_distribution,
+    degree_tail_ratio,
+    effective_diameter,
+    powerlaw_exponent_mle,
+    project_graph,
+)
+from repro.generate.kronecker import default_initiator, kronecker_tensor
+from repro.generate.powerlaw import (
+    powerlaw_indices,
+    powerlaw_stream,
+    powerlaw_tensor,
+)
+from repro.generate.registry import (
+    SYNTHETIC_TENSORS,
+    SyntheticConfig,
+    generate_suite,
+    get_synthetic,
+)
+
+__all__ = [
+    "kronecker_tensor",
+    "default_initiator",
+    "powerlaw_tensor",
+    "powerlaw_indices",
+    "powerlaw_stream",
+    "degree_distribution",
+    "powerlaw_exponent_mle",
+    "degree_tail_ratio",
+    "clustering_coefficient",
+    "effective_diameter",
+    "project_graph",
+    "SyntheticConfig",
+    "SYNTHETIC_TENSORS",
+    "get_synthetic",
+    "generate_suite",
+]

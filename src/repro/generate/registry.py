@@ -1,0 +1,137 @@
+"""Synthetic tensor registry — the paper's Table 3 configurations.
+
+Fifteen synthetic tensors: regular (equidimensional) 3-D/4-D tensors from
+the stochastic Kronecker generator and irregular tensors — hypersparse
+equidimensional long modes plus short, effectively-dense modes — from the
+biased power-law generator, each in a "small, medium, large" period.
+
+Each :class:`SyntheticConfig` records the *paper-scale* shape and non-zero
+count and can generate itself at any downscale factor; scaling divides the
+non-zeros by ``scale`` and every dimension by ``scale**(1/order)``, which
+preserves the density regime (the feature the paper's analysis keys on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import GenerationError
+from repro.sptensor.coo import COOTensor
+from repro.generate.kronecker import kronecker_tensor
+from repro.generate.powerlaw import powerlaw_tensor
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """One row of Table 3."""
+
+    key: str  # s1..s15
+    name: str  # regS, irrM4d, ...
+    generator: str  # "kron" | "pl"
+    paper_shape: tuple[int, ...]
+    paper_nnz: int
+    dense_modes: tuple[int, ...] = ()  # power-law generator's short modes
+    alpha: float = 2.0
+
+    @property
+    def order(self) -> int:
+        return len(self.paper_shape)
+
+    @property
+    def paper_density(self) -> float:
+        cap = 1.0
+        for s in self.paper_shape:
+            cap *= float(s)
+        return self.paper_nnz / cap
+
+    def scaled_shape(self, scale: float) -> tuple[int, ...]:
+        """Dimensions shrunk by ``scale**(1/order)`` (floor 2, or 4 on
+        power-law hub modes so the distribution keeps a tail)."""
+        if scale < 1:
+            raise GenerationError("scale must be >= 1")
+        f = scale ** (1.0 / self.order)
+        return tuple(max(2, int(round(s / f))) for s in self.paper_shape)
+
+    def scaled_nnz(self, scale: float) -> int:
+        return max(16, int(round(self.paper_nnz / scale)))
+
+    def generate(self, scale: float = 1000.0, seed: int | None = 0) -> COOTensor:
+        """Materialize this configuration at ``scale`` (1.0 = paper size)."""
+        shape = self.scaled_shape(scale)
+        nnz = self.scaled_nnz(scale)
+        cap = 1.0
+        for s in shape:
+            cap *= float(s)
+        nnz = min(nnz, int(cap * 0.5))
+        if self.generator == "kron":
+            return kronecker_tensor(shape, nnz, seed=seed)
+        if self.generator == "pl":
+            return powerlaw_tensor(
+                shape, nnz, alpha=self.alpha, dense_modes=self.dense_modes,
+                seed=seed,
+            )
+        raise GenerationError(f"unknown generator {self.generator!r}")
+
+
+#: Table 3, in paper order (s1..s15).
+SYNTHETIC_TENSORS: tuple[SyntheticConfig, ...] = (
+    SyntheticConfig("s1", "regS", "kron", (65_000,) * 3, 1_100_000),
+    SyntheticConfig("s2", "regM", "kron", (1_100_000,) * 3, 11_500_000),
+    SyntheticConfig("s3", "regL", "kron", (8_300_000,) * 3, 94_000_000),
+    SyntheticConfig("s4", "irrS", "pl", (32_000, 32_000, 76), 1_000_000, (2,)),
+    SyntheticConfig("s5", "irrM", "pl", (524_000, 524_000, 126), 10_000_000, (2,)),
+    SyntheticConfig("s6", "irrL", "pl", (4_200_000, 4_200_000, 168), 84_000_000, (2,)),
+    SyntheticConfig("s7", "regS4d", "kron", (8_200,) * 4, 1_000_000),
+    SyntheticConfig("s8", "regM4d", "kron", (2_100_000,) * 4, 11_200_000),
+    SyntheticConfig("s9", "regL4d", "kron", (8_300_000,) * 4, 110_000_000),
+    SyntheticConfig(
+        "s10", "irrS4d", "pl", (1_600_000,) * 3 + (82,), 1_000_000, (3,)
+    ),
+    SyntheticConfig(
+        "s11", "irrM4d", "pl", (2_600_000,) * 3 + (144,), 10_800_000, (3,)
+    ),
+    SyntheticConfig(
+        "s12", "irrL4d", "pl", (4_200_000,) * 3 + (226,), 100_000_000, (3,)
+    ),
+    SyntheticConfig(
+        "s13", "irr2S4d", "pl", (1_000_000, 1_000_000, 122, 436), 1_600_000, (2, 3)
+    ),
+    SyntheticConfig(
+        "s14", "irr2M4d", "pl", (4_200_000, 4_200_000, 232, 746), 19_900_000, (2, 3)
+    ),
+    SyntheticConfig(
+        "s15", "irr2L4d", "pl", (8_300_000, 8_300_000, 952, 324), 109_000_000, (2, 3)
+    ),
+)
+
+_BY_KEY = {c.key: c for c in SYNTHETIC_TENSORS}
+_BY_NAME = {c.name: c for c in SYNTHETIC_TENSORS}
+
+
+def get_synthetic(key_or_name: str) -> SyntheticConfig:
+    """Look up a Table 3 configuration by key ("s5") or name ("irrM")."""
+    cfg = _BY_KEY.get(key_or_name) or _BY_NAME.get(key_or_name)
+    if cfg is None:
+        raise KeyError(
+            f"unknown synthetic tensor {key_or_name!r}; "
+            f"known: {sorted(_BY_KEY)} / {sorted(_BY_NAME)}"
+        )
+    return cfg
+
+
+def generate_suite(
+    keys: Sequence[str] | None = None,
+    scale: float = 1000.0,
+    seed: int = 0,
+) -> dict[str, COOTensor]:
+    """Generate several Table 3 tensors keyed by their short name."""
+    configs = (
+        SYNTHETIC_TENSORS
+        if keys is None
+        else [get_synthetic(k) for k in keys]
+    )
+    return {
+        c.name: c.generate(scale=scale, seed=seed + i)
+        for i, c in enumerate(configs)
+    }

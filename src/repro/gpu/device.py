@@ -1,0 +1,106 @@
+"""Simulated GPU device specifications.
+
+Substitution (DESIGN.md): no physical P100/V100 is available, so the GPU
+side of the suite executes kernels numerically with NumPy (bit-correct
+results) while a device simulator produces the execution time.  The
+simulator needs the execution-model parameters collected here: SM count,
+resident blocks per SM, obtainable bandwidth, cache size, and atomic
+throughput — the quantities the paper's GPU observations (2 and 4) hinge
+on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.roofline.platform import DGX_1P, DGX_1V, PlatformSpec
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Execution-model parameters of a simulated CUDA device."""
+
+    name: str
+    sm_count: int
+    blocks_per_sm: int  # concurrently resident thread blocks per SM
+    threads_per_block: int  # the suite's kernels use 256 (paper Sec. 3.2.2)
+    peak_sp_gflops: float
+    dram_bw_gbs: float  # obtainable (ERT-style) global-memory bandwidth
+    llc_bytes: int
+    llc_bw_gbs: float
+    atomic_gups: float  # global atomicAdd throughput, giga-updates/s
+    launch_overhead_s: float = 5e-6
+    #: Volta issues integer (address) and floating-point instructions on
+    #: independent datapaths, overlapping Mttkrp's address arithmetic with
+    #: its FLOPs (paper Observation 2); earlier architectures serialize a
+    #: fraction of it.
+    address_overlap: float = 0.0
+
+    @property
+    def max_concurrent_blocks(self) -> int:
+        """Thread blocks the device can keep in flight simultaneously."""
+        return self.sm_count * self.blocks_per_sm
+
+    def scaled(self, scale: float) -> "DeviceSpec":
+        """A proportionally shrunk device for downscaled datasets.
+
+        Benchmarking a dataset shrunk ``scale``x on a full-size device
+        distorts every utilization ratio (launch overhead and concurrency
+        are *extensive* relative to the work).  Shrinking the in-flight
+        block capacity and the launch overhead by the same factor — rates
+        (bandwidth, atomic throughput, peak FLOPS) untouched — restores
+        the paper-scale ratios: blocks-per-worker, bandwidth share per
+        block, and overhead-to-work all match the full-size run.
+        """
+        import dataclasses
+
+        if scale <= 1.0:
+            return self
+        sm = max(2, int(round(self.sm_count / scale)))
+        return dataclasses.replace(
+            self,
+            sm_count=sm,
+            launch_overhead_s=self.launch_overhead_s / scale,
+        )
+
+    @classmethod
+    def from_platform(
+        cls,
+        platform: PlatformSpec,
+        blocks_per_sm: int = 4,
+        threads_per_block: int = 256,
+        address_overlap: float = 0.0,
+    ) -> "DeviceSpec":
+        if not platform.is_gpu:
+            raise ValueError(f"{platform.name} is not a GPU platform")
+        return cls(
+            name=platform.name,
+            sm_count=platform.sm_count,
+            blocks_per_sm=blocks_per_sm,
+            threads_per_block=threads_per_block,
+            peak_sp_gflops=platform.peak_sp_gflops,
+            dram_bw_gbs=platform.ert_dram_bw_gbs,
+            llc_bytes=platform.llc_bytes,
+            llc_bw_gbs=platform.ert_llc_bw_gbs,
+            atomic_gups=platform.atomic_gups,
+            address_overlap=address_overlap,
+        )
+
+
+#: Tesla P100 (Pascal): 56 SMs, 3 MB L2, slower atomics, no int/fp overlap.
+P100 = DeviceSpec.from_platform(DGX_1P, address_overlap=0.0)
+
+#: Tesla V100 (Volta): 80 SMs, 6 MB L2, fast atomics, int/fp overlap.
+V100 = DeviceSpec.from_platform(DGX_1V, address_overlap=0.6)
+
+DEVICES = {"p100": P100, "v100": V100, "dgx-1p": P100, "dgx-1v": V100}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a simulated device by name."""
+    try:
+        return DEVICES[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; known: {sorted(set(DEVICES))}"
+        ) from None

@@ -1,0 +1,161 @@
+"""Multi-GPU scaling simulation (paper future work: "multiple GPUs").
+
+Models the standard data-parallel decomposition on a DGX-1-style node:
+non-zeros are partitioned across ``G`` devices, each device runs the
+single-GPU kernel on its shard, and kernels whose output is shared
+(Mttkrp's factor matrix) pay a ring all-reduce over NVLink:
+
+    t = max_g(shard time) + 2 (G-1)/G x out_bytes / nvlink_bw
+
+Ttv/Ttm outputs partition with the non-zeros (fiber-aligned splits), so
+they skip the reduction and only pay the imbalance of the shards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.gpu.device import DeviceSpec
+from repro.gpu.kernels import gpu_coo_mttkrp, gpu_ttv
+from repro.sptensor.coo import COOTensor
+
+#: DGX-1 NVLink per-direction bandwidth per GPU (GB/s).
+DEFAULT_NVLINK_GBS = 50.0
+
+
+@dataclass(frozen=True)
+class MultiGpuResult:
+    """Aggregate timing of a multi-GPU simulated run."""
+
+    value: object
+    seconds: float
+    shard_seconds: tuple[float, ...]
+    allreduce_seconds: float
+    ngpus: int
+
+    @property
+    def max_shard(self) -> float:
+        return max(self.shard_seconds) if self.shard_seconds else 0.0
+
+    def speedup_over(self, single_seconds: float) -> float:
+        return single_seconds / self.seconds if self.seconds > 0 else 0.0
+
+
+def partition_by_nnz(tensor: COOTensor, ngpus: int) -> list[COOTensor]:
+    """Split a (sorted) tensor into ``ngpus`` contiguous nnz shards."""
+    if ngpus < 1:
+        raise ShapeError("need at least one GPU")
+    t = tensor.copy().sort()
+    bounds = np.linspace(0, t.nnz, ngpus + 1).astype(np.int64)
+    shards = []
+    for g in range(ngpus):
+        lo, hi = int(bounds[g]), int(bounds[g + 1])
+        shards.append(
+            COOTensor(
+                t.shape, t.indices[lo:hi], t.values[lo:hi],
+                copy=False, check=False,
+            )
+        )
+    return shards
+
+
+def allreduce_time(out_bytes: float, ngpus: int, nvlink_gbs: float) -> float:
+    """Ring all-reduce: ``2 (G-1)/G x bytes / bw``."""
+    if ngpus <= 1:
+        return 0.0
+    return 2.0 * (ngpus - 1) / ngpus * out_bytes / (nvlink_gbs * 1e9)
+
+
+def multi_gpu_mttkrp(
+    tensor: COOTensor,
+    mats: Sequence[np.ndarray],
+    mode: int,
+    device: DeviceSpec,
+    ngpus: int,
+    nvlink_gbs: float = DEFAULT_NVLINK_GBS,
+) -> MultiGpuResult:
+    """Data-parallel Mttkrp: shard non-zeros, reduce the output matrix.
+
+    The numeric result is the exact sum of the shard outputs; the time is
+    the slowest shard plus the ring all-reduce of the output matrix.
+    """
+    shards = partition_by_nnz(tensor, ngpus)
+    r = next(np.asarray(u).shape[1] for u in mats if u is not None)
+    out = np.zeros((tensor.shape[mode], r))
+    shard_times = []
+    for shard in shards:
+        if shard.nnz == 0:
+            shard_times.append(device.launch_overhead_s)
+            continue
+        res = gpu_coo_mttkrp(shard, mats, mode, device)
+        out = out + res.value
+        shard_times.append(res.seconds)
+    reduce_s = allreduce_time(out.size * 4.0, ngpus, nvlink_gbs)
+    total = max(shard_times) + reduce_s
+    return MultiGpuResult(out, total, tuple(shard_times), reduce_s, ngpus)
+
+
+def multi_gpu_ttv(
+    tensor: COOTensor,
+    v: np.ndarray,
+    mode: int,
+    device: DeviceSpec,
+    ngpus: int,
+) -> MultiGpuResult:
+    """Data-parallel Ttv: fiber-aligned shards, no reduction needed.
+
+    Shards are split on sorted non-zeros, so a fiber can straddle a cut;
+    the numeric result is assembled by coalescing the shard outputs
+    (duplicated fiber heads sum), which is also what a real fiber-aligned
+    split would produce.
+    """
+    shards = partition_by_nnz(tensor, ngpus)
+    partials = []
+    shard_times = []
+    for shard in shards:
+        if shard.nnz == 0:
+            shard_times.append(device.launch_overhead_s)
+            continue
+        res = gpu_ttv(shard, v, mode, device)
+        partials.append(res.value)
+        shard_times.append(res.seconds)
+    if not partials:
+        out_shape = tuple(
+            s for m, s in enumerate(tensor.shape) if m != mode
+        )
+        merged = COOTensor.empty(out_shape)
+    else:
+        merged = partials[0]
+        for p in partials[1:]:
+            from repro.kernels.tew import coo_tew
+
+            merged = coo_tew(merged, p, "add")
+    return MultiGpuResult(
+        merged, max(shard_times), tuple(shard_times), 0.0, ngpus
+    )
+
+
+def scaling_sweep(
+    run: Callable[[int], MultiGpuResult], gpu_counts: Sequence[int]
+) -> list[dict]:
+    """Run a multi-GPU kernel at several device counts; report speedups."""
+    base = None
+    rows = []
+    for g in gpu_counts:
+        res = run(g)
+        if base is None:
+            base = res.seconds
+        rows.append(
+            {
+                "ngpus": g,
+                "seconds": res.seconds,
+                "speedup": base / res.seconds if res.seconds else 0.0,
+                "allreduce_s": res.allreduce_seconds,
+                "max_shard_s": res.max_shard,
+            }
+        )
+    return rows

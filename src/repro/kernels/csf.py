@@ -1,0 +1,135 @@
+"""Kernels on the CSF extension format (SPLATT-style tree walks).
+
+The paper names CSF as the next format the suite will adopt; these
+reference kernels show why: the fiber tree factors the index structure so
+Ttv contracts the leaf level with one segmented reduction per tree level,
+and Mttkrp (Smith et al., IPDPS'15) accumulates factor products bottom-up
+with each tree node's partial product computed exactly once.
+
+CSF is mode-*specific*: the algorithms below want the product mode at a
+particular tree position (leaf for Ttv, root for Mttkrp).  When the tensor
+was built with a different mode order, the kernels transparently rebuild
+the tree (the cost SPLATT avoids by keeping one tree per mode).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.sptensor.coo import COOTensor
+from repro.sptensor.csf import CSFTensor
+from repro.util.validation import check_mode
+
+
+def _with_mode_last(x: CSFTensor, mode: int) -> CSFTensor:
+    if x.mode_order[-1] == mode:
+        return x
+    rest = [m for m in x.mode_order if m != mode]
+    return CSFTensor.from_coo(x.to_coo(), tuple(rest) + (mode,))
+
+
+def _with_mode_root(x: CSFTensor, mode: int) -> CSFTensor:
+    if x.mode_order[0] == mode:
+        return x
+    rest = [m for m in x.mode_order if m != mode]
+    return CSFTensor.from_coo(x.to_coo(), (mode,) + tuple(rest))
+
+
+def csf_ttv(x: CSFTensor, v: np.ndarray, mode: int) -> CSFTensor:
+    """Ttv on CSF: contract the leaf level of the fiber tree.
+
+    With ``mode`` at the leaves, each level-(N-2) node's children form one
+    mode-``mode`` fiber; a single segmented reduction of ``val * v[leaf]``
+    turns those nodes into the new leaves.  The upper tree levels carry
+    over unchanged — no re-sorting, no new index arrays.
+    """
+    mode = check_mode(mode, x.nmodes)
+    if x.nmodes < 2:
+        raise ShapeError("Ttv needs an order >= 2 tensor")
+    v = np.asarray(v)
+    if v.ndim != 1 or v.shape[0] != x.shape[mode]:
+        raise ShapeError(
+            f"vector must have shape ({x.shape[mode]},), got {v.shape}"
+        )
+    x = _with_mode_last(x, mode)
+    n = x.nmodes
+    out_order_modes = x.mode_order[:-1]
+    # Map the surviving modes to the output's mode numbering.
+    remap = {m: i for i, m in enumerate(sorted(out_order_modes))}
+    new_order = tuple(remap[m] for m in out_order_modes)
+    out_shape_by_mode = tuple(
+        x.shape[m] for m in sorted(out_order_modes)
+    )
+    if x.nnz == 0:
+        return CSFTensor.from_coo(
+            COOTensor.empty(out_shape_by_mode, dtype=x.values.dtype), new_order
+        )
+    contrib = x.values.astype(
+        np.result_type(x.values, v), copy=False
+    ) * v[x.fids[-1].astype(np.int64)]
+    parent_ptr = x.fptr[-1]
+    new_values = np.add.reduceat(contrib, parent_ptr[:-1])
+    if n == 2:
+        # the root level becomes the (single-level) output
+        coords = x.fids[0].astype(np.int64).reshape(-1, 1)
+        coo = COOTensor(out_shape_by_mode, coords, new_values, check=False)
+        return CSFTensor.from_coo(coo, new_order)
+    return CSFTensor(
+        out_shape_by_mode,
+        new_order,
+        [p.copy() for p in x.fptr[:-1]],
+        [f.copy() for f in x.fids[:-1]],
+        new_values,
+        check=True,
+    )
+
+
+def csf_mttkrp(
+    x: CSFTensor, mats: Sequence[np.ndarray], mode: int
+) -> np.ndarray:
+    """SPLATT's root-mode Mttkrp on the fiber tree.
+
+    With ``mode`` at the root, partial Khatri-Rao products propagate
+    bottom-up: the leaf level contributes ``val * U(leaf)[i, :]``, each
+    internal level reduces its children and scales by its own factor rows,
+    and the root level scatters into the output.  Every tree node's
+    partial product is computed once — the work saving over COO grows with
+    the fiber sharing in the tensor.
+    """
+    mode = check_mode(mode, x.nmodes)
+    n = x.nmodes
+    if len(mats) != n:
+        raise ShapeError(f"Mttkrp needs {n} matrices (product slot may be None)")
+    x = _with_mode_root(x, mode)
+    rank = None
+    for m in range(n):
+        if m == mode:
+            continue
+        u = np.asarray(mats[m])
+        if u.ndim != 2 or u.shape[0] != x.shape[m]:
+            raise ShapeError(f"matrix {m} must be ({x.shape[m]}, R), got {u.shape}")
+        rank = u.shape[1] if rank is None else rank
+        if u.shape[1] != rank:
+            raise ShapeError("all matrices must share R")
+    dtype = np.result_type(
+        x.values, *[np.asarray(mats[m]) for m in range(n) if m != mode]
+    )
+    out = np.zeros((x.shape[mode], rank), dtype=dtype)
+    if x.nnz == 0:
+        return out
+    # Bottom-up sweep: leaves -> level 1.
+    leaf_mode = x.mode_order[-1]
+    t = x.values.astype(dtype, copy=False)[:, None] * np.asarray(mats[leaf_mode])[
+        x.fids[-1].astype(np.int64), :
+    ]
+    for lvl in range(n - 2, 0, -1):
+        t = np.add.reduceat(t, x.fptr[lvl][:-1], axis=0)
+        lvl_mode = x.mode_order[lvl]
+        t = t * np.asarray(mats[lvl_mode])[x.fids[lvl].astype(np.int64), :]
+    # Root: reduce children and scatter (root fids are unique).
+    t = np.add.reduceat(t, x.fptr[0][:-1], axis=0)
+    out[x.fids[0].astype(np.int64), :] = t
+    return out

@@ -1,0 +1,69 @@
+"""Dense reference implementations of the five kernels.
+
+These follow the paper's defining equations directly on dense ndarrays
+(via NumPy's einsum/tensordot), and exist purely as oracles: every sparse
+kernel is validated against them in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import OpKind
+from repro.sptensor.dense import mttkrp_khatri_rao_operand, unfold
+from repro.util.validation import check_mode, check_same_shape
+
+
+def dense_tew(x: np.ndarray, y: np.ndarray, op: "OpKind | str") -> np.ndarray:
+    """Element-wise op (paper Eq. 1).  For mul/div the sparse kernels use
+    intersection semantics on stored entries; densified comparison must
+    therefore be restricted to the common pattern by the caller."""
+    check_same_shape(x, y)
+    op = OpKind.coerce(op)
+    if op is OpKind.ADD:
+        return x + y
+    if op is OpKind.SUB:
+        return x - y
+    if op is OpKind.MUL:
+        return x * y
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = np.where(y != 0, x / np.where(y != 0, y, 1), 0.0)
+    return out
+
+
+def dense_ts(x: np.ndarray, s: float, op: "OpKind | str") -> np.ndarray:
+    """Tensor-scalar op on the *non-zero pattern only* (paper Sec. 2.2
+    defines Ts between the non-zero values of a tensor and a scalar)."""
+    op = OpKind.coerce(op)
+    mask = x != 0
+    out = np.array(x, copy=True)
+    if op is OpKind.ADD:
+        out[mask] = x[mask] + s
+    elif op is OpKind.SUB:
+        out[mask] = x[mask] - s
+    elif op is OpKind.MUL:
+        out[mask] = x[mask] * s
+    else:
+        out[mask] = x[mask] / s
+    return out
+
+
+def dense_ttv(x: np.ndarray, v: np.ndarray, mode: int) -> np.ndarray:
+    """Tensor-times-vector (paper Eq. 3): contract mode ``mode`` with v."""
+    mode = check_mode(mode, x.ndim)
+    return np.tensordot(x, v, axes=([mode], [0]))
+
+
+def dense_ttm(x: np.ndarray, u: np.ndarray, mode: int) -> np.ndarray:
+    """Tensor-times-matrix (paper Eq. 4) with the paper's U ∈ R^{In×R}
+    convention: output mode ``mode`` has size R."""
+    mode = check_mode(mode, x.ndim)
+    out = np.tensordot(x, u, axes=([mode], [0]))  # contracted axis -> last
+    return np.moveaxis(out, -1, mode)
+
+
+def dense_mttkrp(x: np.ndarray, mats, mode: int) -> np.ndarray:
+    """Matricized-tensor times Khatri-Rao product (paper Eq. 5)."""
+    mode = check_mode(mode, x.ndim)
+    kr = mttkrp_khatri_rao_operand(mats, mode)
+    return unfold(x, mode) @ kr

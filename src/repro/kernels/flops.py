@@ -1,0 +1,165 @@
+"""Work / memory-traffic / operational-intensity analysis (paper Table 1).
+
+Table 1 gives, for each kernel on a third-order cubical tensor with ``M``
+non-zeros and ``MF`` fibers (``I << MF << M``), the flop count, the bytes
+moved under COO and HiCOO, and the resulting operational intensity (OI =
+flops / bytes).  The functions here generalize those formulas to the exact
+feature values of a *specific* tensor (M, MF, R, nb), which is what the
+paper uses to place per-tensor roofline bounds in Figures 4-7 ("The OI
+value is an accurate #Flops/#Bytes ratio by taking different tensor
+features into account").
+
+Conventions (paper Sec. 3.1/3.2): 32-bit indices, 32-bit values, third
+column of Table 1 assumes one-level cache with the minimum size needed for
+algorithmic reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.types import DEFAULT_BLOCK_SIZE, DEFAULT_RANK, Format, Kernel
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Flop and byte counts for one kernel execution."""
+
+    kernel: Kernel
+    fmt: Format
+    flops: float
+    bytes: float
+
+    @property
+    def oi(self) -> float:
+        """Operational intensity in flops/byte."""
+        return self.flops / self.bytes if self.bytes else float("inf")
+
+
+def tew_cost(
+    m: int, fmt: "Format | str" = Format.COO, order: int = 3
+) -> KernelCost:
+    """Tew: one flop per output non-zero; 12 bytes (two reads + one write
+    of a 4-byte value) per non-zero, independent of tensor order (the
+    indices are copied in pre-processing).  Identical for COO and HiCOO —
+    the value-computation loop is shared (paper Sec. 3.4.1)."""
+    fmt = Format.coerce(fmt)
+    return KernelCost(Kernel.TEW, fmt, float(m), 12.0 * m)
+
+
+def ts_cost(
+    m: int, fmt: "Format | str" = Format.COO, order: int = 3
+) -> KernelCost:
+    """Ts: one flop per non-zero; one read + one write per non-zero."""
+    fmt = Format.coerce(fmt)
+    return KernelCost(Kernel.TS, fmt, float(m), 8.0 * m)
+
+
+def ttv_cost(
+    m: int, mf: int, fmt: "Format | str" = Format.COO, order: int = 3
+) -> KernelCost:
+    """Ttv: 2M flops (multiply + add).
+
+    Input traffic is order-independent: value + mode-n index +
+    irregularly-gathered vector element = 12 bytes per non-zero.  Output
+    traffic is ``4 N MF`` — (N-1) 4-byte indices plus a 4-byte value per
+    fiber — which reduces to Table 1's ``12MF`` at N=3."""
+    fmt = Format.coerce(fmt)
+    return KernelCost(
+        Kernel.TTV, fmt, 2.0 * m, 12.0 * m + 4.0 * order * mf
+    )
+
+
+def ttm_cost(
+    m: int,
+    mf: int,
+    r: int = DEFAULT_RANK,
+    fmt: "Format | str" = Format.COO,
+    order: int = 3,
+) -> KernelCost:
+    """Ttm: 2MR flops; ``4MR`` matrix-row gathers + ``4MFR`` output
+    values + ``8M`` per-non-zero index/value traffic + ``4(N-1)MF``
+    output index traffic (Table 1's ``8MF`` at N=3)."""
+    fmt = Format.coerce(fmt)
+    return KernelCost(
+        Kernel.TTM,
+        fmt,
+        2.0 * m * r,
+        4.0 * m * r + 4.0 * mf * r + 8.0 * m + 4.0 * (order - 1) * mf,
+    )
+
+
+def mttkrp_cost(
+    m: int,
+    r: int = DEFAULT_RANK,
+    fmt: "Format | str" = Format.COO,
+    nb: int | None = None,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    order: int = 3,
+) -> KernelCost:
+    """Mttkrp: ``N M R`` flops ((N-2) multiplies + 1 scale + 1 accumulate
+    per rank entry; Table 1's ``3MR`` at N=3).
+
+    COO traffic: ``4 N M R + 4 (N+1) M`` — N matrix rows of R values per
+    non-zero ((N-1) gathers + the output update) plus N indices and the
+    tensor value; reduces to Table 1's ``12MR + 16M`` at N=3.
+
+    HiCOO traffic: ``4 N R min(nb * B, M) + (N+4) M + (8+4N) nb`` —
+    matrix rows are reused across a block (at most ``B`` distinct rows per
+    matrix per block), element indices shrink to one byte, and each block
+    adds its pointer and block-index overhead; reduces to Table 1's
+    ``12 R min{nb B, M} + 7M + 20nb`` at N=3.
+    """
+    fmt = Format.coerce(fmt)
+    flops = float(order) * m * r
+    if fmt in (Format.HICOO, Format.GHICOO):
+        if nb is None:
+            raise ValueError("HiCOO Mttkrp cost requires the block count nb")
+        bytes_ = (
+            4.0 * order * r * min(nb * block_size, m)
+            + (order + 4.0) * m
+            + (8.0 + 4.0 * order) * nb
+        )
+    else:
+        bytes_ = 4.0 * order * m * r + 4.0 * (order + 1) * m
+    return KernelCost(Kernel.MTTKRP, fmt, flops, bytes_)
+
+
+def kernel_cost(
+    kernel: "Kernel | str",
+    fmt: "Format | str",
+    m: int,
+    mf: int | None = None,
+    r: int = DEFAULT_RANK,
+    nb: int | None = None,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    order: int = 3,
+) -> KernelCost:
+    """Uniform dispatcher used by the roofline/OI machinery."""
+    kernel = Kernel.coerce(kernel)
+    if kernel is Kernel.TEW:
+        return tew_cost(m, fmt, order)
+    if kernel is Kernel.TS:
+        return ts_cost(m, fmt, order)
+    if kernel is Kernel.TTV:
+        if mf is None:
+            raise ValueError("Ttv cost requires the fiber count MF")
+        return ttv_cost(m, mf, fmt, order)
+    if kernel is Kernel.TTM:
+        if mf is None:
+            raise ValueError("Ttm cost requires the fiber count MF")
+        return ttm_cost(m, mf, r, fmt, order)
+    if kernel is Kernel.MTTKRP:
+        return mttkrp_cost(m, r, fmt, nb=nb, block_size=block_size, order=order)
+    raise ValueError(f"unknown kernel {kernel}")  # pragma: no cover
+
+
+#: Asymptotic operational intensities quoted by Table 1 for third-order
+#: cubical tensors (less significant terms dropped, paper Sec. 3.2).
+TABLE1_ASYMPTOTIC_OI = {
+    Kernel.TEW: 1.0 / 12.0,
+    Kernel.TS: 1.0 / 8.0,
+    Kernel.TTV: 1.0 / 6.0,
+    Kernel.TTM: 1.0 / 2.0,
+    Kernel.MTTKRP: 1.0 / 4.0,
+}

@@ -1,0 +1,229 @@
+"""Matricized tensor times Khatri-Rao product (Mttkrp) — paper Sec. 2.5.
+
+``U~(n) = X_(n) (U(N) ⊙ ... ⊙ U(n+1) ⊙ U(n-1) ⊙ ... ⊙ U(1))``.
+
+Operationally on sparse data, for each non-zero ``x`` at coordinate
+``(i_1, ..., i_N)`` and each rank column ``r``:
+
+    out[i_n, r] += x * prod_{m != n} U(m)[i_m, r]
+
+The Khatri-Rao product is never materialized (paper: doing so needs
+redundant computation or extra storage).
+
+COO-Mttkrp parallelizes over non-zeros and protects the output rows with
+atomic adds (``omp atomic`` / CUDA ``atomicAdd``); HiCOO-Mttkrp (paper
+Algorithm 2) parallelizes over tensor blocks, slicing the factor matrices
+per block so rows are reused while a block's entries are processed.
+
+NumPy notes: ``np.add.at`` is the race-free scatter-add primitive — it is
+the single-thread semantics of an atomic loop.  The multi-threaded path
+privatizes per-chunk partial outputs and reduces them at the end, because
+concurrent ``np.add.at`` calls on a shared array are not atomic in NumPy;
+the *performance model* still charges the kernel for atomic behaviour, so
+the benchmark's reported characteristics match the paper's algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.types import Schedule
+from repro.parallel.atomic import atomic_add_rows, sorted_reduce_rows
+from repro.parallel.backend import Backend, get_backend
+from repro.parallel.openmp import OpenMPBackend
+from repro.sptensor.coo import COOTensor
+from repro.sptensor.hicoo import HiCOOTensor
+from repro.util.validation import check_mode
+
+
+def _check_matrices(shape, mats: Sequence[np.ndarray], mode: int) -> list:
+    n = len(shape)
+    if len(mats) != n:
+        raise ShapeError(
+            f"Mttkrp needs one matrix per mode ({n}), got {len(mats)} "
+            "(the product-mode slot may be None)"
+        )
+    rank = None
+    out = []
+    for m in range(n):
+        if m == mode:
+            out.append(None)
+            continue
+        u = np.asarray(mats[m])
+        if u.ndim != 2 or u.shape[0] != shape[m]:
+            raise ShapeError(
+                f"matrix {m} must be ({shape[m]}, R), got {u.shape}"
+            )
+        if rank is None:
+            rank = u.shape[1]
+        elif u.shape[1] != rank:
+            raise ShapeError(
+                f"all matrices must share R: matrix {m} has {u.shape[1]} "
+                f"columns, expected {rank}"
+            )
+        out.append(u)
+    if rank is None:
+        raise ShapeError("Mttkrp needs at least one non-product mode matrix")
+    return out
+
+
+def _row_contributions(
+    indices: np.ndarray,
+    values: np.ndarray,
+    mats: Sequence,
+    mode: int,
+    dtype,
+    lo: int = 0,
+    hi: int | None = None,
+) -> np.ndarray:
+    """``contrib[k, :] = x_k * prod_{m != mode} U(m)[i_m(k), :]`` for the
+    entry range ``[lo, hi)`` — the per-non-zero work of the kernel."""
+    hi = len(values) if hi is None else hi
+    contrib = values[lo:hi].astype(dtype, copy=True)[:, None]
+    first = True
+    for m, u in enumerate(mats):
+        if u is None:
+            continue
+        rows = u[indices[lo:hi, m].astype(np.int64), :]
+        if first:
+            contrib = contrib * rows
+            first = False
+        else:
+            contrib *= rows
+    return contrib
+
+
+def coo_mttkrp(
+    x: COOTensor,
+    mats: Sequence[np.ndarray],
+    mode: int,
+    backend: "Backend | str | None" = None,
+    method: str = "atomic",
+    schedule: "Schedule | str" = Schedule.STATIC,
+) -> np.ndarray:
+    """COO-Mttkrp parallelized by non-zeros (ParTI's algorithm).
+
+    Parameters
+    ----------
+    mats:
+        One ``(I_m, R)`` matrix per mode; the entry at ``mode`` is ignored
+        (may be ``None``).
+    method:
+        ``"atomic"`` — scatter-add per chunk (the paper's algorithm);
+        ``"sort"``   — sort-by-output-row then segmented reduce (the
+        lock-avoiding alternative, used by the ablation benchmark).
+
+    Returns the updated dense matrix ``(I_mode, R)``.
+    """
+    mode = check_mode(mode, x.nmodes)
+    mats = _check_matrices(x.shape, mats, mode)
+    backend = get_backend(backend)
+    r = next(u.shape[1] for u in mats if u is not None)
+    dtype = np.result_type(x.values, *[u for u in mats if u is not None])
+    out = np.zeros((x.shape[mode], r), dtype=dtype)
+    if x.nnz == 0:
+        return out
+    rows = x.indices[:, mode].astype(np.int64)
+
+    if method == "sort":
+        contrib = _row_contributions(x.indices, x.values, mats, mode, dtype)
+        sorted_reduce_rows(out, rows, contrib)
+        return out
+    if method != "atomic":
+        raise ValueError(f"unknown Mttkrp method {method!r}")
+
+    if isinstance(backend, OpenMPBackend) and backend.nthreads > 1:
+        # Privatized partial outputs per chunk (see module docstring).
+        partials: dict[tuple[int, int], np.ndarray] = {}
+
+        def body(lo: int, hi: int) -> None:
+            local = np.zeros_like(out)
+            contrib = _row_contributions(
+                x.indices, x.values, mats, mode, dtype, lo, hi
+            )
+            atomic_add_rows(local, rows[lo:hi], contrib)
+            partials[(lo, hi)] = local
+
+        backend.parallel_for(x.nnz, body, schedule=schedule)
+        for local in partials.values():
+            out += local
+        return out
+
+    def body(lo: int, hi: int) -> None:
+        contrib = _row_contributions(
+            x.indices, x.values, mats, mode, dtype, lo, hi
+        )
+        atomic_add_rows(out, rows[lo:hi], contrib)
+
+    backend.parallel_for(x.nnz, body, schedule=schedule)
+    return out
+
+
+def hicoo_mttkrp(
+    x: HiCOOTensor,
+    mats: Sequence[np.ndarray],
+    mode: int,
+    backend: "Backend | str | None" = None,
+    schedule: "Schedule | str" = Schedule.DYNAMIC,
+    blocks_per_chunk: int = 32,
+) -> np.ndarray:
+    """HiCOO-Mttkrp (paper Algorithm 2) parallelized by tensor *blocks*.
+
+    For each block ``b``, the factor matrices are sliced at the block
+    offsets (``Ab = A + bi·B·R`` etc.) and the block's entries update the
+    sliced output with 8-bit element indices — matrix rows are reused
+    across the block, which is where HiCOO-Mttkrp's smaller memory traffic
+    (Table 1) comes from.  Blocks may collide on output rows, so blocks are
+    privatized per chunk exactly like the COO atomic path.
+    """
+    mode = check_mode(mode, x.nmodes)
+    mats = _check_matrices(x.shape, mats, mode)
+    backend = get_backend(backend)
+    r = next(u.shape[1] for u in mats if u is not None)
+    dtype = np.result_type(x.values, *[u for u in mats if u is not None])
+    out = np.zeros((x.shape[mode], r), dtype=dtype)
+    if x.nnz == 0:
+        return out
+    bsz = np.int64(x.block_size)
+    bid_of_entry = x.entry_block_ids()
+    # Global row per entry: block offset + element offset, per mode.
+    global_rows = {
+        m: x.binds[bid_of_entry, j].astype(np.int64) * bsz
+        + x.einds[:, j].astype(np.int64)
+        for j, m in enumerate(range(x.nmodes))
+    }
+
+    use_private = isinstance(backend, OpenMPBackend) and backend.nthreads > 1
+    partials: dict[tuple[int, int], np.ndarray] = {}
+
+    def body(blo: int, bhi: int) -> None:
+        lo, hi = int(x.bptr[blo]), int(x.bptr[bhi])
+        if hi <= lo:
+            return
+        contrib = x.values[lo:hi].astype(dtype, copy=False)[:, None]
+        first = True
+        for m, u in enumerate(mats):
+            if u is None:
+                continue
+            rows_m = u[global_rows[m][lo:hi], :]
+            if first:
+                contrib = contrib * rows_m
+                first = False
+            else:
+                contrib *= rows_m
+        target = out
+        if use_private:
+            target = np.zeros_like(out)
+            partials[(blo, bhi)] = target
+        atomic_add_rows(target, global_rows[mode][lo:hi], contrib)
+
+    backend.parallel_for(
+        x.nblocks, body, schedule=schedule, chunk=blocks_per_chunk
+    )
+    if use_private:
+        for local in partials.values():
+            out += local
+    return out

@@ -1,0 +1,23 @@
+"""Tensor methods built on the suite's kernels (the paper's motivating
+applications and its named future-work operations)."""
+
+from repro.methods.cpd import CPResult, cp_als
+from repro.methods.power import (
+    PowerResult,
+    symmetric_rank1_tensor,
+    tensor_power_method,
+    ttv_collapse,
+)
+from repro.methods.tucker import TuckerResult, ttm_chain, tucker_hooi
+
+__all__ = [
+    "cp_als",
+    "CPResult",
+    "tensor_power_method",
+    "PowerResult",
+    "symmetric_rank1_tensor",
+    "ttv_collapse",
+    "ttm_chain",
+    "tucker_hooi",
+    "TuckerResult",
+]

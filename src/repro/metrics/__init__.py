@@ -1,0 +1,24 @@
+"""Performance metrics and aggregation."""
+
+from repro.metrics.perf import PERF_HEADERS, PerfRecord, efficiency, gflops
+from repro.metrics.stats import (
+    average_efficiency,
+    average_gflops,
+    geomean,
+    gflops_range,
+    group_by,
+    mean_over_modes,
+)
+
+__all__ = [
+    "gflops",
+    "efficiency",
+    "PerfRecord",
+    "PERF_HEADERS",
+    "mean_over_modes",
+    "geomean",
+    "group_by",
+    "average_gflops",
+    "average_efficiency",
+    "gflops_range",
+]

@@ -1,0 +1,67 @@
+"""Performance metrics: GFLOPS and roofline efficiency.
+
+The paper compares kernels and platforms in FLOPS (``#Flops`` from Table 1
+divided by measured execution time) and reports *performance efficiency* —
+achieved GFLOPS over the per-tensor roofline bound — which can exceed 100%
+when a working set is served from cache (Observation 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def gflops(flops: float, seconds: float) -> float:
+    """Achieved GFLOPS; 0.0 for non-positive time (empty kernels)."""
+    if seconds <= 0:
+        return 0.0
+    return flops / seconds / 1e9
+
+
+def efficiency(achieved_gflops: float, bound_gflops: float) -> float:
+    """Achieved / roofline bound (1.0 == at the roofline)."""
+    if bound_gflops <= 0:
+        return 0.0
+    return achieved_gflops / bound_gflops
+
+
+@dataclass(frozen=True)
+class PerfRecord:
+    """One (tensor, kernel, format, platform) measurement."""
+
+    tensor: str
+    kernel: str
+    fmt: str
+    platform: str
+    flops: float
+    seconds: float  # modeled platform time (or simulated GPU time)
+    gflops: float
+    bound_gflops: float  # per-tensor roofline bound
+    efficiency: float
+    host_seconds: float = 0.0  # measured wall-clock on the executing host
+    host_gflops: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    def as_row(self) -> list:
+        return [
+            self.tensor,
+            self.kernel,
+            self.fmt,
+            self.platform,
+            self.gflops,
+            self.bound_gflops,
+            self.efficiency,
+            self.host_gflops,
+        ]
+
+
+PERF_HEADERS = [
+    "tensor",
+    "kernel",
+    "format",
+    "platform",
+    "gflops",
+    "roofline_gflops",
+    "efficiency",
+    "host_gflops",
+]

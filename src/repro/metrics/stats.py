@@ -1,0 +1,69 @@
+"""Aggregation helpers for benchmark records.
+
+The paper averages kernel times over five runs and, for mode-oriented
+kernels, over all tensor modes; figures then quote per-kernel averages
+across a dataset.  These helpers implement those aggregations over
+:class:`~repro.metrics.perf.PerfRecord` lists.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.metrics.perf import PerfRecord
+
+
+def mean_over_modes(times: Sequence[float]) -> float:
+    """Average kernel time across modes (paper Sec. 5.1.2)."""
+    if not times:
+        return 0.0
+    return float(np.mean(times))
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (robust cross-tensor average)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return float(np.exp(np.mean(np.log(vals))))
+
+
+def group_by(
+    records: Iterable[PerfRecord], *keys: str
+) -> dict[tuple, list[PerfRecord]]:
+    """Group records by the named attributes."""
+    out: dict[tuple, list[PerfRecord]] = defaultdict(list)
+    for rec in records:
+        out[tuple(getattr(rec, k) for k in keys)].append(rec)
+    return dict(out)
+
+
+def average_gflops(
+    records: Iterable[PerfRecord], by: tuple[str, ...] = ("kernel", "fmt")
+) -> dict[tuple, float]:
+    """Arithmetic-mean GFLOPS per group (the paper's per-kernel averages)."""
+    return {
+        key: float(np.mean([r.gflops for r in recs]))
+        for key, recs in group_by(records, *by).items()
+    }
+
+
+def average_efficiency(
+    records: Iterable[PerfRecord], by: tuple[str, ...] = ("kernel", "fmt")
+) -> dict[tuple, float]:
+    """Mean roofline efficiency per group (Observation 3's statistic)."""
+    return {
+        key: float(np.mean([r.efficiency for r in recs]))
+        for key, recs in group_by(records, *by).items()
+    }
+
+
+def gflops_range(records: Iterable[PerfRecord]) -> tuple[float, float]:
+    """(min, max) achieved GFLOPS across records (Observation 1)."""
+    g = [r.gflops for r in records]
+    if not g:
+        return (0.0, 0.0)
+    return (float(min(g)), float(max(g)))

@@ -1,0 +1,44 @@
+"""CPU parallel substrate: backends, partitioners, atomics."""
+
+from repro.parallel.atomic import (
+    ContentionStats,
+    atomic_add_rows,
+    contention_stats,
+    sorted_reduce_rows,
+)
+from repro.parallel.backend import Backend, get_backend, register_backend
+from repro.parallel.openmp import OpenMPBackend
+from repro.parallel.partition import (
+    balanced_partition,
+    chunk_ranges,
+    fixed_chunks,
+    guided_chunks,
+    load_imbalance,
+    makespan,
+)
+from repro.parallel.sequential import SequentialBackend
+
+# Default registry entries: the suite always has a sequential executor and
+# an OpenMP-like pool sized to the host.
+register_backend("sequential", SequentialBackend())
+register_backend("seq", get_backend("sequential"))
+register_backend("openmp", OpenMPBackend())
+register_backend("omp", get_backend("openmp"))
+
+__all__ = [
+    "Backend",
+    "SequentialBackend",
+    "OpenMPBackend",
+    "get_backend",
+    "register_backend",
+    "chunk_ranges",
+    "fixed_chunks",
+    "guided_chunks",
+    "balanced_partition",
+    "load_imbalance",
+    "makespan",
+    "atomic_add_rows",
+    "sorted_reduce_rows",
+    "contention_stats",
+    "ContentionStats",
+]

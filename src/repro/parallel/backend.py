@@ -1,0 +1,72 @@
+"""Execution backend abstraction for the CPU kernels.
+
+The paper's CPU kernels are OpenMP ``parallel for`` loops over non-zeros,
+fibers, or blocks, with static/dynamic scheduling.  We reproduce that
+structure: a :class:`Backend` provides ``parallel_for(total, body)`` where
+``body(lo, hi)`` processes a contiguous range.  Kernels vectorize each
+range with NumPy, so a multi-threaded backend gets genuine parallelism
+(NumPy releases the GIL inside ufuncs) while the sequential backend runs
+the identical decomposition in one thread — results are bit-identical by
+construction for race-free kernels.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+from repro.types import Schedule
+
+#: A loop body processing the half-open index range [lo, hi).
+RangeBody = Callable[[int, int], None]
+
+_REGISTRY: dict[str, "Backend"] = {}
+
+
+class Backend(abc.ABC):
+    """Strategy object executing chunked parallel-for loops."""
+
+    #: Logical worker count (1 for sequential).
+    nthreads: int = 1
+
+    @abc.abstractmethod
+    def parallel_for(
+        self,
+        total: int,
+        body: RangeBody,
+        schedule: "Schedule | str" = Schedule.STATIC,
+        chunk: int | None = None,
+    ) -> None:
+        """Execute ``body`` over ``[0, total)`` split into chunks."""
+
+    def map_ranges(self, ranges, body: RangeBody) -> None:
+        """Execute ``body`` over explicit (lo, hi) ranges (fiber partitions)."""
+        for lo, hi in ranges:
+            body(lo, hi)
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+def register_backend(key: str, backend: "Backend") -> None:
+    """Register a backend instance under a lookup key."""
+    _REGISTRY[key.lower()] = backend
+
+
+def get_backend(spec: "Backend | str | None" = None) -> "Backend":
+    """Resolve a backend from an instance, registry key, or default.
+
+    ``None`` resolves to the sequential backend; ``"openmp"`` and
+    ``"seq"``/``"sequential"`` are always registered.
+    """
+    if spec is None:
+        return _REGISTRY["sequential"]
+    if isinstance(spec, Backend):
+        return spec
+    key = str(spec).lower()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown backend {spec!r}; registered: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[key]

@@ -1,0 +1,40 @@
+"""Single-threaded backend — the reference executor.
+
+Runs the same chunk decomposition as the OpenMP-like backend but in the
+calling thread, so kernels behave identically whether or not threads are
+available (important on single-core CI machines).
+"""
+
+from __future__ import annotations
+
+from repro.types import Schedule
+from repro.parallel.backend import Backend, RangeBody
+from repro.parallel.partition import chunk_ranges, fixed_chunks, guided_chunks
+
+
+class SequentialBackend(Backend):
+    """Executes chunks in order in the calling thread."""
+
+    nthreads = 1
+
+    def __init__(self, chunks_hint: int = 1):
+        #: How many chunks to cut loops into even though execution is
+        #: serial; >1 exercises the same code paths as threaded runs.
+        self.chunks_hint = max(1, int(chunks_hint))
+
+    def parallel_for(
+        self,
+        total: int,
+        body: RangeBody,
+        schedule: "Schedule | str" = Schedule.STATIC,
+        chunk: int | None = None,
+    ) -> None:
+        schedule = Schedule.coerce(schedule)
+        if chunk is not None:
+            ranges = fixed_chunks(total, chunk)
+        elif schedule is Schedule.GUIDED:
+            ranges = guided_chunks(total, self.chunks_hint)
+        else:
+            ranges = chunk_ranges(total, self.chunks_hint)
+        for lo, hi in ranges:
+            body(lo, hi)

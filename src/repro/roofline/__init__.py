@@ -1,0 +1,38 @@
+"""Roofline models: platforms (Table 4), ERT ceilings, Figure 3."""
+
+from repro.roofline.ert import ErtCeilings, measure_host, modeled_ceilings
+from repro.roofline.model import RooflineModel, RooflinePoint
+from repro.roofline.oi import (
+    TensorFeatures,
+    accurate_oi,
+    cost_for,
+    extract_features,
+)
+from repro.roofline.platform import (
+    BLUESKY,
+    DGX_1P,
+    DGX_1V,
+    PLATFORMS,
+    WINGTIP,
+    PlatformSpec,
+    get_platform,
+)
+
+__all__ = [
+    "PlatformSpec",
+    "BLUESKY",
+    "WINGTIP",
+    "DGX_1P",
+    "DGX_1V",
+    "PLATFORMS",
+    "get_platform",
+    "RooflineModel",
+    "RooflinePoint",
+    "ErtCeilings",
+    "measure_host",
+    "modeled_ceilings",
+    "TensorFeatures",
+    "extract_features",
+    "accurate_oi",
+    "cost_for",
+]

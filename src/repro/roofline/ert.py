@@ -1,0 +1,117 @@
+"""Empirical Roofline Tool (ERT) style machine characterization.
+
+The paper runs ERT (Lo et al., 2015) — STREAM-like micro-kernels at
+varying working-set sizes — to obtain each platform's *obtainable* DRAM
+and cache bandwidths, which become the roofline ceilings of Figure 3.
+
+Here we provide both halves:
+
+* :func:`measure_host` runs actual NumPy micro-kernels (copy / scale /
+  triad at several sizes, and a GEMM for the compute roof) on the machine
+  executing the suite, yielding a calibrated :class:`PlatformSpec` for
+  the host — the "measured" series of the benchmark harness.
+* :func:`modeled_ceilings` returns the modeled ERT ceilings for the four
+  paper platforms (theoretical parameters x derate, see
+  :mod:`repro.roofline.platform`) — the basis for reproducing Figure 3.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.roofline.platform import PlatformSpec
+
+
+@dataclass(frozen=True)
+class ErtCeilings:
+    """The roofline ceilings ERT produces for one machine."""
+
+    platform: str
+    peak_sp_gflops: float
+    dram_bw_gbs: float  # obtainable ("ERT-DRAM")
+    llc_bw_gbs: float  # obtainable ("ERT-LLC")
+    theoretical_bw_gbs: float
+    theoretical_gflops: float
+
+
+def _bench_triad(n: int, repeats: int = 3) -> float:
+    """STREAM triad ``a = b + s*c`` bandwidth in GB/s for float32 arrays
+    of ``n`` elements (3 x 4 bytes moved per element)."""
+    b = np.random.default_rng(0).random(n).astype(np.float32)
+    c = np.random.default_rng(1).random(n).astype(np.float32)
+    a = np.empty_like(b)
+    s = np.float32(1.1)
+    # warm-up
+    np.add(b, s * c, out=a)
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        np.multiply(c, s, out=a)
+        np.add(a, b, out=a)
+        best = min(best, time.perf_counter() - t0)
+    return (3 * 4 * n) / best / 1e9
+
+
+def _bench_gemm(n: int = 512, repeats: int = 3) -> float:
+    """Dense single-precision GEMM GFLOPS (the compute roof proxy)."""
+    a = np.random.default_rng(2).random((n, n)).astype(np.float32)
+    b = np.random.default_rng(3).random((n, n)).astype(np.float32)
+    a @ b  # warm-up
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        a @ b
+        best = min(best, time.perf_counter() - t0)
+    return (2 * n**3) / best / 1e9
+
+
+def measure_host(
+    dram_elems: int = 8_000_000,
+    llc_elems: int = 200_000,
+    name: str = "Host",
+) -> PlatformSpec:
+    """Characterize the executing machine with ERT-style micro-kernels.
+
+    ``dram_elems`` should exceed the LLC (working set 3 x 4 x n bytes);
+    ``llc_elems`` should fit inside it.  Returns a :class:`PlatformSpec`
+    whose ceilings are the *measured* values (derate set to 1.0 so that
+    ``ert_dram_bw_gbs`` is exactly the measurement).
+    """
+    dram_bw = _bench_triad(dram_elems)
+    llc_bw = max(_bench_triad(llc_elems), dram_bw)
+    gflops = _bench_gemm()
+    import os
+
+    return PlatformSpec(
+        name=name,
+        kind="cpu",
+        processor="host",
+        microarch="host",
+        freq_ghz=0.0,
+        cores=os.cpu_count() or 1,
+        peak_sp_gflops=gflops,
+        llc_bytes=3 * 4 * llc_elems,
+        mem_gb=0.0,
+        mem_type="unknown",
+        mem_freq_ghz=0.0,
+        mem_bw_gbs=dram_bw,
+        compiler="numpy",
+        sockets=1,
+        dram_derate=1.0,
+        llc_bw_ratio=llc_bw / dram_bw,
+    )
+
+
+def modeled_ceilings(platform: PlatformSpec) -> ErtCeilings:
+    """The ERT ceilings for a (paper) platform from its spec."""
+    return ErtCeilings(
+        platform=platform.name,
+        peak_sp_gflops=platform.peak_sp_gflops,
+        dram_bw_gbs=platform.ert_dram_bw_gbs,
+        llc_bw_gbs=platform.ert_llc_bw_gbs,
+        theoretical_bw_gbs=platform.mem_bw_gbs,
+        theoretical_gflops=platform.peak_sp_gflops,
+    )

@@ -1,0 +1,109 @@
+"""Roofline performance model (Williams et al., CACM'09) — Figure 3.
+
+``attainable(OI) = min(peak_flops, OI x bandwidth)`` for each bandwidth
+ceiling (ERT-DRAM, ERT-LLC, theoretical DRAM).  The paper plots the four
+platforms' rooflines with the Table 1 kernel OIs marked on the ERT-DRAM
+line, and uses ``OI x ERT-DRAM`` as the per-tensor "Roofline performance"
+upper bound in Figures 4-7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.types import DEFAULT_RANK, Format, Kernel
+from repro.kernels.flops import TABLE1_ASYMPTOTIC_OI
+from repro.roofline.oi import TensorFeatures, accurate_oi, cost_for
+from repro.roofline.platform import PlatformSpec
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One marked kernel on a roofline plot."""
+
+    kernel: Kernel
+    oi: float
+    attainable_gflops: float
+
+
+class RooflineModel:
+    """The roofline of one platform."""
+
+    def __init__(self, platform: PlatformSpec):
+        self.platform = platform
+
+    # ------------------------------------------------------------------ #
+    def attainable(self, oi: float, ceiling: str = "dram") -> float:
+        """Attainable GFLOPS at operational intensity ``oi``.
+
+        ``ceiling``: "dram" (ERT-DRAM, the paper's bound), "llc"
+        (ERT-LLC) or "theoretical" (nameplate bandwidth).
+        """
+        bw = {
+            "dram": self.platform.ert_dram_bw_gbs,
+            "llc": self.platform.ert_llc_bw_gbs,
+            "theoretical": self.platform.mem_bw_gbs,
+        }[ceiling]
+        return min(self.platform.peak_sp_gflops, oi * bw)
+
+    def bound_for(
+        self,
+        features: TensorFeatures,
+        kernel: "Kernel | str",
+        fmt: "Format | str" = Format.COO,
+        r: int = DEFAULT_RANK,
+    ) -> float:
+        """Per-tensor "Roofline performance": accurate OI x ERT-DRAM."""
+        return self.attainable(accurate_oi(features, kernel, fmt, r))
+
+    def memory_bound_time(
+        self,
+        features: TensorFeatures,
+        kernel: "Kernel | str",
+        fmt: "Format | str" = Format.COO,
+        r: int = DEFAULT_RANK,
+        ceiling: str = "dram",
+    ) -> float:
+        """Seconds to stream the kernel's bytes at the given ceiling."""
+        cost = cost_for(features, kernel, fmt, r)
+        bw = {
+            "dram": self.platform.ert_dram_bw_gbs,
+            "llc": self.platform.ert_llc_bw_gbs,
+            "theoretical": self.platform.mem_bw_gbs,
+        }[ceiling]
+        return cost.bytes / (bw * 1e9)
+
+    # ------------------------------------------------------------------ #
+    def series(
+        self, oi_min: float = 2**-8, oi_max: float = 2**6, points: int = 57
+    ) -> list[dict]:
+        """The Figure 3 plot data: attainable GFLOPS per ceiling over a
+        log-spaced OI range."""
+        ois = np.logspace(np.log2(oi_min), np.log2(oi_max), points, base=2.0)
+        return [
+            {
+                "oi": float(oi),
+                "ert_dram": self.attainable(float(oi), "dram"),
+                "ert_llc": self.attainable(float(oi), "llc"),
+                "theoretical_dram": self.attainable(float(oi), "theoretical"),
+                "peak": self.platform.peak_sp_gflops,
+            }
+            for oi in ois
+        ]
+
+    def kernel_marks(self, r: int = DEFAULT_RANK) -> list[RooflinePoint]:
+        """The Table 1 asymptotic kernel OIs marked on the ERT-DRAM line,
+        as in Figure 3."""
+        return [
+            RooflinePoint(k, oi, self.attainable(oi))
+            for k, oi in TABLE1_ASYMPTOTIC_OI.items()
+        ]
+
+    def memory_bound_kernels(self) -> bool:
+        """Paper finding: every suite kernel sits left of the ridge point
+        (memory bound) on all four platforms."""
+        return all(
+            mark.oi < self.platform.ridge_oi for mark in self.kernel_marks()
+        )

@@ -1,0 +1,164 @@
+"""Platform specifications — the paper's Table 4.
+
+Two Intel CPU NUMA machines (Bluesky, Wingtip) and two NVIDIA GPUs in
+DGX-1 stations (P100, V100), with theoretical peak single-precision
+performance and memory bandwidth computed from the hardware parameters,
+plus the ERT-style *obtainable* ceilings used by the roofline model.
+
+Absent real hardware, the ERT ceilings are modeled as a derate of the
+theoretical numbers — the derates default to values typical of ERT runs
+on these microarchitectures (~80-85% of peak DRAM bandwidth; LLC ceilings
+a small multiple of DRAM) and can be recalibrated against a real ERT run
+by constructing a custom :class:`PlatformSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """One column of Table 4 plus derived roofline ceilings."""
+
+    name: str
+    kind: str  # "cpu" | "gpu"
+    processor: str
+    microarch: str
+    freq_ghz: float
+    cores: int  # physical cores (CPU) or CUDA cores (GPU)
+    peak_sp_gflops: float
+    llc_bytes: int
+    mem_gb: float
+    mem_type: str
+    mem_freq_ghz: float
+    mem_bw_gbs: float  # theoretical
+    compiler: str
+    sockets: int = 1  # CPU NUMA sockets
+    sm_count: int = 0  # GPU streaming multiprocessors
+    dram_derate: float = 0.85  # ERT-DRAM / theoretical
+    llc_bw_ratio: float = 4.0  # ERT-LLC / ERT-DRAM
+    numa_penalty: float = 0.25  # per extra socket, for irregular kernels
+    atomic_gups: float = 0.0  # GPU atomic update throughput (G updates/s)
+
+    @property
+    def ert_dram_bw_gbs(self) -> float:
+        """Obtainable DRAM/global-memory bandwidth (the "ERT-DRAM" line)."""
+        return self.mem_bw_gbs * self.dram_derate
+
+    @property
+    def ert_llc_bw_gbs(self) -> float:
+        """Obtainable last-level-cache bandwidth (the "ERT-LLC" line)."""
+        return self.ert_dram_bw_gbs * self.llc_bw_ratio
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.kind == "gpu"
+
+    @property
+    def ridge_oi(self) -> float:
+        """OI at which the DRAM roof meets the compute roof (flops/byte)."""
+        return self.peak_sp_gflops / self.ert_dram_bw_gbs
+
+    def with_overrides(self, **kw) -> "PlatformSpec":
+        """A copy with calibration fields replaced."""
+        return replace(self, **kw)
+
+
+#: Intel Xeon Gold 6126 (Skylake), 2 sockets x 12 cores.
+BLUESKY = PlatformSpec(
+    name="Bluesky",
+    kind="cpu",
+    processor="Intel Xeon Gold 6126",
+    microarch="Skylake",
+    freq_ghz=2.60,
+    cores=24,
+    peak_sp_gflops=1000.0,
+    llc_bytes=19 * 1024**2,
+    mem_gb=196.0,
+    mem_type="DDR4",
+    mem_freq_ghz=2.666,
+    mem_bw_gbs=256.0,
+    compiler="gcc 7.1.0",
+    sockets=2,
+    dram_derate=0.80,
+    llc_bw_ratio=4.0,
+    numa_penalty=0.30,
+)
+
+#: Intel Xeon E7-4850 v3 (Haswell), 4 sockets x 14 cores.
+WINGTIP = PlatformSpec(
+    name="Wingtip",
+    kind="cpu",
+    processor="Intel Xeon E7-4850 v3",
+    microarch="Haswell",
+    freq_ghz=2.20,
+    cores=56,
+    peak_sp_gflops=2000.0,
+    llc_bytes=35 * 1024**2,
+    mem_gb=2114.0,
+    mem_type="DDR4",
+    mem_freq_ghz=2.133,
+    mem_bw_gbs=273.0,
+    compiler="gcc 5.5.0",
+    sockets=4,
+    dram_derate=0.75,
+    llc_bw_ratio=3.5,
+    numa_penalty=0.45,  # 4-socket NUMA hurts irregular kernels (Obs. 3)
+)
+
+#: NVIDIA Tesla P100 (Pascal) in a DGX-1.
+DGX_1P = PlatformSpec(
+    name="DGX-1P",
+    kind="gpu",
+    processor="NVIDIA Tesla P100",
+    microarch="Pascal",
+    freq_ghz=1.48,
+    cores=3584,
+    peak_sp_gflops=10_600.0,
+    llc_bytes=3 * 1024**2,
+    mem_gb=16.0,
+    mem_type="HBM2",
+    mem_freq_ghz=0.715,
+    mem_bw_gbs=732.0,
+    compiler="CUDA Tkit 9.1",
+    sm_count=56,
+    dram_derate=0.75,
+    llc_bw_ratio=3.0,
+    atomic_gups=30.0,  # Pascal atomics are a Mttkrp bottleneck
+)
+
+#: NVIDIA Tesla V100 (Volta) in a DGX-1: 2x LLC, improved atomics,
+#: independent int/fp datapaths (paper Observation 2).
+DGX_1V = PlatformSpec(
+    name="DGX-1V",
+    kind="gpu",
+    processor="NVIDIA Tesla V100",
+    microarch="Volta",
+    freq_ghz=1.53,
+    cores=5120,
+    peak_sp_gflops=14_900.0,
+    llc_bytes=6 * 1024**2,
+    mem_gb=16.0,
+    mem_type="HBM2",
+    mem_freq_ghz=0.877,
+    mem_bw_gbs=900.0,
+    compiler="CUDA Tkit 9.0",
+    sm_count=80,
+    dram_derate=0.78,
+    llc_bw_ratio=3.0,
+    atomic_gups=90.0,  # Volta's improved atomic performance
+)
+
+PLATFORMS: tuple[PlatformSpec, ...] = (BLUESKY, WINGTIP, DGX_1P, DGX_1V)
+_BY_NAME = {p.name.lower(): p for p in PLATFORMS}
+
+
+def get_platform(name: str) -> PlatformSpec:
+    """Look up a paper platform by (case-insensitive) name."""
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown platform {name!r}; known: {[p.name for p in PLATFORMS]}"
+        ) from None

@@ -1,0 +1,209 @@
+"""Balanced CSF (BCSF) — load-balanced fiber trees (Nisa et al., 2019).
+
+The paper lists BCSF among the formats the suite will grow to.  Plain CSF
+parallelizes Mttkrp over root subtrees, but power-law tensors concentrate
+most non-zeros under a few hub roots, starving that decomposition.  BCSF
+splits heavy roots into *virtual roots*: multiple scheduling units sharing
+one root index but owning disjoint child ranges, each bounded by a leaf
+cap — so the work per scheduling unit is balanced regardless of skew.
+
+This implementation layers virtual roots over :class:`CSFTensor`: the tree
+arrays are shared (no data duplication); ``vroots`` holds
+``(root_node, child_lo, child_hi, leaf_lo, leaf_hi)`` per unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.sptensor.coo import COOTensor
+from repro.sptensor.csf import CSFTensor
+
+
+@dataclass(frozen=True)
+class VirtualRoot:
+    """One balanced scheduling unit of a BCSF tree."""
+
+    root_node: int  # index into fids[0]
+    child_lo: int  # child range within fptr[0][root] .. (order >= 3)
+    child_hi: int
+    leaf_lo: int  # leaf (value) range covered
+    leaf_hi: int
+
+    @property
+    def nnz(self) -> int:
+        return self.leaf_hi - self.leaf_lo
+
+
+class BCSFTensor:
+    """A CSF tensor plus a balanced virtual-root partition."""
+
+    __slots__ = ("csf", "max_nnz_per_vroot", "vroots")
+
+    def __init__(self, csf: CSFTensor, max_nnz_per_vroot: int):
+        if max_nnz_per_vroot < 1:
+            raise ShapeError("max_nnz_per_vroot must be >= 1")
+        self.csf = csf
+        self.max_nnz_per_vroot = int(max_nnz_per_vroot)
+        self.vroots = self._build_vroots()
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_coo(
+        cls,
+        tensor: COOTensor,
+        mode_order: Sequence[int] | None = None,
+        max_nnz_per_vroot: int = 1024,
+    ) -> "BCSFTensor":
+        return cls(CSFTensor.from_coo(tensor, mode_order), max_nnz_per_vroot)
+
+    def _build_vroots(self) -> tuple[VirtualRoot, ...]:
+        csf = self.csf
+        n = csf.nmodes
+        cap = self.max_nnz_per_vroot
+        out: list[VirtualRoot] = []
+        nroots = len(csf.fids[0])
+        if csf.nnz == 0:
+            return ()
+        if n == 2:
+            # children are the leaves themselves
+            for root in range(nroots):
+                lo, hi = int(csf.fptr[0][root]), int(csf.fptr[0][root + 1])
+                for s in range(lo, hi, cap):
+                    e = min(s + cap, hi)
+                    out.append(VirtualRoot(root, s, e, s, e))
+            return tuple(out)
+        # order >= 3: split on level-1 children; per-child leaf counts
+        # come from chaining the fptr levels down to the leaves.
+        child_leaf_lo = csf.fptr[1]
+        if n > 3:
+            for lvl in range(2, n - 1):
+                child_leaf_lo = csf.fptr[lvl][child_leaf_lo]
+        # child c covers leaves [child_leaf_lo[c], child_leaf_lo[c+1])
+        for root in range(nroots):
+            c_lo, c_hi = int(csf.fptr[0][root]), int(csf.fptr[0][root + 1])
+            start = c_lo
+            while start < c_hi:
+                end = start
+                leaves_lo = int(child_leaf_lo[start])
+                # extend the unit while under the cap (always >= 1 child)
+                while end < c_hi and (
+                    int(child_leaf_lo[end + 1]) - leaves_lo <= cap
+                    or end == start
+                ):
+                    end += 1
+                out.append(
+                    VirtualRoot(
+                        root,
+                        start,
+                        end,
+                        leaves_lo,
+                        int(child_leaf_lo[end]),
+                    )
+                )
+                start = end
+        return tuple(out)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def nmodes(self) -> int:
+        return self.csf.nmodes
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.csf.shape
+
+    @property
+    def nnz(self) -> int:
+        return self.csf.nnz
+
+    @property
+    def nvroots(self) -> int:
+        return len(self.vroots)
+
+    def vroot_nnz(self) -> np.ndarray:
+        return np.asarray([v.nnz for v in self.vroots], dtype=np.int64)
+
+    def imbalance(self) -> float:
+        """max/mean leaves per scheduling unit (CSF roots vs BCSF vroots:
+        the whole point of the format)."""
+        w = self.vroot_nnz()
+        if len(w) == 0:
+            return 1.0
+        return float(w.max() / w.mean())
+
+    def root_imbalance(self) -> float:
+        """The unbalanced baseline: leaves per plain CSF root subtree."""
+        csf = self.csf
+        if csf.nnz == 0:
+            return 1.0
+        counts = np.zeros(len(csf.fids[0]), dtype=np.int64)
+        for v in self.vroots:
+            counts[v.root_node] += v.nnz
+        return float(counts.max() / counts.mean())
+
+    def to_coo(self) -> COOTensor:
+        return self.csf.to_coo()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BCSFTensor(shape={self.shape}, nnz={self.nnz}, "
+            f"vroots={self.nvroots}, cap={self.max_nnz_per_vroot})"
+        )
+
+
+def bcsf_mttkrp(
+    x: BCSFTensor, mats: Sequence[np.ndarray], mode: int
+) -> np.ndarray:
+    """Mttkrp over balanced virtual roots.
+
+    Identical math to :func:`repro.kernels.csf.csf_mttkrp` but the root
+    scatter uses accumulation (virtual roots of one split root collide on
+    the same output row — the atomicAdd of the GPU algorithm)."""
+    from repro.kernels.csf import csf_mttkrp  # shares validation
+    from repro.util.validation import check_mode
+
+    mode = check_mode(mode, x.nmodes)
+    if x.csf.mode_order[0] != mode:
+        # rebuild with the product mode at the root, like csf_mttkrp
+        rebuilt = BCSFTensor.from_coo(
+            x.to_coo(),
+            (mode,) + tuple(m for m in x.csf.mode_order if m != mode),
+            x.max_nnz_per_vroot,
+        )
+        return bcsf_mttkrp(rebuilt, mats, mode)
+    csf = x.csf
+    n = x.nmodes
+    rank = next(
+        np.asarray(u).shape[1]
+        for m, u in enumerate(mats)
+        if m != mode and u is not None
+    )
+    dtype = np.result_type(
+        csf.values, *[np.asarray(mats[m]) for m in range(n) if m != mode]
+    )
+    out = np.zeros((x.shape[mode], rank), dtype=dtype)
+    if csf.nnz == 0:
+        return out
+    # bottom-up partials exactly as in csf_mttkrp
+    leaf_mode = csf.mode_order[-1]
+    t = csf.values.astype(dtype, copy=False)[:, None] * np.asarray(
+        mats[leaf_mode]
+    )[csf.fids[-1].astype(np.int64), :]
+    for lvl in range(n - 2, 0, -1):
+        t = np.add.reduceat(t, csf.fptr[lvl][:-1], axis=0)
+        lvl_mode = csf.mode_order[lvl]
+        t = t * np.asarray(mats[lvl_mode])[csf.fids[lvl].astype(np.int64), :]
+    # per-vroot accumulation into the (possibly shared) output row
+    if n == 2:
+        # t is per-leaf; sum each vroot's leaf range
+        for v in x.vroots:
+            out[int(csf.fids[0][v.root_node])] += t[v.leaf_lo:v.leaf_hi].sum(axis=0)
+        return out
+    for v in x.vroots:
+        out[int(csf.fids[0][v.root_node])] += t[v.child_lo:v.child_hi].sum(axis=0)
+    return out

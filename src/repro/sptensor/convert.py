@@ -1,0 +1,82 @@
+"""Conversions between the suite's sparse tensor formats.
+
+Every format can round-trip through COO; this module adds the direct,
+user-facing ``as_format`` dispatcher that the benchmark harness uses to
+materialize one tensor in each format under test.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import FormatError
+from repro.types import DEFAULT_BLOCK_SIZE, Format
+from repro.sptensor.coo import COOTensor
+from repro.sptensor.ghicoo import GHiCOOTensor
+from repro.sptensor.hicoo import HiCOOTensor
+from repro.sptensor.scoo import SemiCOOTensor
+from repro.sptensor.shicoo import SemiHiCOOTensor
+
+AnyTensor = "COOTensor | HiCOOTensor | GHiCOOTensor | SemiCOOTensor | SemiHiCOOTensor"
+
+
+def to_coo(tensor) -> COOTensor:
+    """Convert any supported tensor object to COO."""
+    if isinstance(tensor, COOTensor):
+        return tensor
+    if isinstance(tensor, (HiCOOTensor, GHiCOOTensor)):
+        return tensor.to_coo()
+    if isinstance(tensor, (SemiCOOTensor, SemiHiCOOTensor)):
+        return tensor.to_coo()
+    from repro.sptensor.csf import CSFTensor
+
+    if isinstance(tensor, CSFTensor):
+        return tensor.to_coo()
+    raise FormatError(f"cannot convert {type(tensor).__name__} to COO")
+
+
+def as_format(
+    tensor,
+    fmt: "Format | str",
+    *,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    compressed_modes: Sequence[int] | None = None,
+    dense_modes: Sequence[int] | None = None,
+    mode_order: Sequence[int] | None = None,
+):
+    """Materialize ``tensor`` in format ``fmt``.
+
+    Parameters
+    ----------
+    block_size:
+        HiCOO-family block size ``B``.
+    compressed_modes:
+        For gHiCOO: which modes to block-compress (default: all).
+    dense_modes:
+        For sCOO/sHiCOO: which modes are dense.
+    mode_order:
+        For CSF: the fiber tree's mode order (default: natural order).
+    """
+    fmt = Format.coerce(fmt)
+    coo = to_coo(tensor)
+    if fmt is Format.COO:
+        return coo
+    if fmt is Format.HICOO:
+        return HiCOOTensor.from_coo(coo, block_size)
+    if fmt is Format.GHICOO:
+        return GHiCOOTensor.from_coo(coo, block_size, compressed_modes)
+    if fmt is Format.SCOO:
+        if not dense_modes:
+            raise FormatError("sCOO conversion requires dense_modes")
+        return SemiCOOTensor.from_coo(coo, dense_modes)
+    if fmt is Format.SHICOO:
+        if not dense_modes:
+            raise FormatError("sHiCOO conversion requires dense_modes")
+        return SemiHiCOOTensor.from_scoo(
+            SemiCOOTensor.from_coo(coo, dense_modes), block_size
+        )
+    if fmt is Format.CSF:
+        from repro.sptensor.csf import CSFTensor
+
+        return CSFTensor.from_coo(coo, mode_order)
+    raise FormatError(f"unsupported target format {fmt}")  # pragma: no cover

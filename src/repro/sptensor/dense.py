@@ -1,0 +1,92 @@
+"""Dense tensor algebra helpers: matricization, folding, Khatri-Rao.
+
+These implement the textbook (Kolda & Bader, 2009) definitions used by the
+dense reference kernels that validate the sparse implementations, and by
+the tensor-method examples (CP-ALS, tensor power method).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.util.validation import check_mode
+
+
+def unfold(tensor: np.ndarray, mode: int) -> np.ndarray:
+    """Mode-``n`` matricization ``X_(n)`` of a dense tensor.
+
+    Rows are indexed by mode ``n``; columns enumerate the remaining modes
+    with the *lowest* remaining mode varying slowest (row-major over the
+    remaining modes), matching the Khatri-Rao column convention used by
+    :func:`khatri_rao_reverse` in Mttkrp:
+    ``U~(n) = X_(n) (U(N) ⊙ ... ⊙ U(n+1) ⊙ U(n-1) ⊙ ... ⊙ U(1))``.
+    """
+    tensor = np.asarray(tensor)
+    mode = check_mode(mode, tensor.ndim)
+    return np.moveaxis(tensor, mode, 0).reshape(tensor.shape[mode], -1)
+
+
+def fold(matrix: np.ndarray, mode: int, shape) -> np.ndarray:
+    """Inverse of :func:`unfold`: rebuild the dense tensor."""
+    shape = tuple(int(s) for s in shape)
+    mode = check_mode(mode, len(shape))
+    rest = tuple(s for i, s in enumerate(shape) if i != mode)
+    if matrix.shape != (shape[mode], int(np.prod(rest)) if rest else 1):
+        raise ShapeError(
+            f"matrix shape {matrix.shape} does not fold into {shape} at mode {mode}"
+        )
+    return np.moveaxis(matrix.reshape((shape[mode],) + rest), 0, mode)
+
+
+def khatri_rao(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Column-wise Kronecker (Khatri-Rao) product ``C = A ⊙ B``.
+
+    ``A`` is ``(I, R)``, ``B`` is ``(J, R)``; the result is ``(I*J, R)``
+    with ``C[:, r] = kron(A[:, r], B[:, r])``.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[1]:
+        raise ShapeError(
+            f"Khatri-Rao needs matching column counts: {a.shape} vs {b.shape}"
+        )
+    i, r = a.shape
+    j, _ = b.shape
+    return (a[:, None, :] * b[None, :, :]).reshape(i * j, r)
+
+
+def khatri_rao_list(mats) -> np.ndarray:
+    """Left-to-right Khatri-Rao product of a list of matrices."""
+    mats = list(mats)
+    if not mats:
+        raise ShapeError("khatri_rao_list needs at least one matrix")
+    out = np.asarray(mats[0])
+    for m in mats[1:]:
+        out = khatri_rao(out, np.asarray(m))
+    return out
+
+
+def mttkrp_khatri_rao_operand(mats, mode: int) -> np.ndarray:
+    """The Khatri-Rao chain for mode-``n`` Mttkrp (paper Eq. 5):
+    ``U(N) ⊙ ... ⊙ U(n+1) ⊙ U(n-1) ⊙ ... ⊙ U(1)``.
+
+    Combined with :func:`unfold`'s column convention, multiplying
+    ``unfold(X, mode) @ result`` realizes the dense Mttkrp.
+    """
+    n = len(mats)
+    mode = check_mode(mode, n)
+    others = [np.asarray(mats[m]) for m in range(n) if m != mode]
+    # unfold() enumerates remaining modes row-major (lowest mode slowest),
+    # which corresponds to chaining the Khatri-Rao from the lowest mode
+    # outward on the *left*: U(1) ⊙-position slowest ⇒ reverse order here.
+    return khatri_rao_list(others)
+
+
+def outer(vectors) -> np.ndarray:
+    """Outer product of a list of vectors → rank-1 dense tensor."""
+    vectors = [np.asarray(v) for v in vectors]
+    out = vectors[0]
+    for v in vectors[1:]:
+        out = np.multiply.outer(out, v)
+    return out

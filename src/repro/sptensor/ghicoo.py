@@ -1,0 +1,214 @@
+"""Generalized HiCOO (gHiCOO) — this paper's format contribution (Sec. 3.3).
+
+HiCOO is not beneficial for hyper-sparse tensors where most blocks contain
+only one or a few non-zeros.  gHiCOO lets the user choose *which modes* are
+compressed in units of blocks; the remaining modes keep full-width COO
+index arrays.  Besides rescuing hyper-sparse inputs, gHiCOO is convenient
+for kernels that do not need every mode during computation: HiCOO-Ttv and
+HiCOO-Ttm leave the product mode uncompressed, so the blocked structure of
+the other modes never has to be unpacked (paper Sec. 3.4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import FormatError, ShapeError
+from repro.types import (
+    BPTR_BYTES,
+    DEFAULT_BLOCK_SIZE,
+    EINDEX_BYTES,
+    EINDEX_DTYPE,
+    INDEX_BYTES,
+    VALUE_BYTES,
+    index_dtype_for,
+)
+from repro.sptensor.coo import COOTensor
+from repro.sptensor.hicoo import _hicoo_sort_order
+from repro.util.bits import is_pow2
+from repro.util.validation import check_mode
+
+
+class GHiCOOTensor:
+    """A sparse tensor with a user-chosen subset of modes block-compressed.
+
+    Attributes
+    ----------
+    compressed_modes:
+        Sorted tuple of modes stored as (binds, einds) block/element pairs.
+    uncompressed_modes:
+        The remaining modes, stored as full-width per-entry index columns
+        in ``cinds`` (same layout as COO).
+    """
+
+    __slots__ = (
+        "shape",
+        "block_size",
+        "compressed_modes",
+        "uncompressed_modes",
+        "bptr",
+        "binds",
+        "einds",
+        "cinds",
+        "values",
+    )
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        block_size: int,
+        compressed_modes: Sequence[int],
+        bptr: np.ndarray,
+        binds: np.ndarray,
+        einds: np.ndarray,
+        cinds: np.ndarray,
+        values: np.ndarray,
+        *,
+        check: bool = True,
+    ):
+        self.shape = tuple(int(s) for s in shape)
+        n = len(self.shape)
+        comp = tuple(sorted(check_mode(m, n) for m in compressed_modes))
+        if len(set(comp)) != len(comp):
+            raise FormatError(f"duplicate compressed modes: {compressed_modes}")
+        if len(comp) == 0:
+            raise FormatError("gHiCOO requires at least one compressed mode")
+        self.compressed_modes = comp
+        self.uncompressed_modes = tuple(m for m in range(n) if m not in comp)
+        if not is_pow2(block_size) or not (1 <= block_size <= 256):
+            raise FormatError(
+                f"block size must be a power of two in [1, 256], got {block_size}"
+            )
+        self.block_size = int(block_size)
+        self.bptr = np.asarray(bptr, dtype=np.int64)
+        self.binds = np.asarray(binds)
+        self.einds = np.asarray(einds, dtype=EINDEX_DTYPE)
+        self.cinds = np.asarray(cinds)
+        self.values = np.asarray(values)
+        if check:
+            self._validate()
+
+    def _validate(self) -> None:
+        nc, nu = len(self.compressed_modes), len(self.uncompressed_modes)
+        if self.binds.ndim != 2 or self.binds.shape[1] != nc:
+            raise ShapeError(f"binds must be (nb, {nc}), got {self.binds.shape}")
+        if self.einds.ndim != 2 or self.einds.shape[1] != nc:
+            raise ShapeError(f"einds must be (M, {nc}), got {self.einds.shape}")
+        if self.cinds.ndim != 2 or self.cinds.shape[1] != nu:
+            raise ShapeError(f"cinds must be (M, {nu}), got {self.cinds.shape}")
+        if self.bptr[0] != 0 or self.bptr[-1] != len(self.values):
+            raise ShapeError("bptr must span [0, nnz]")
+        if len(self.bptr) != self.binds.shape[0] + 1:
+            raise ShapeError("bptr length must be nb + 1")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def nmodes(self) -> int:
+        return len(self.shape)
+
+    @property
+    def nnz(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def nblocks(self) -> int:
+        return self.binds.shape[0]
+
+    def nnz_per_block(self) -> np.ndarray:
+        return np.diff(self.bptr)
+
+    @property
+    def nbytes(self) -> int:
+        """Storage model: blocks carry pointers + compressed block indices;
+        entries carry 8-bit element indices for compressed modes, 32-bit
+        full indices for uncompressed modes, and a 32-bit value."""
+        nc, nu = len(self.compressed_modes), len(self.uncompressed_modes)
+        return self.nblocks * (BPTR_BYTES + nc * INDEX_BYTES) + self.nnz * (
+            nc * EINDEX_BYTES + nu * INDEX_BYTES + VALUE_BYTES
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GHiCOOTensor(shape={self.shape}, nnz={self.nnz}, "
+            f"nblocks={self.nblocks}, B={self.block_size}, "
+            f"compressed={self.compressed_modes})"
+        )
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_coo(
+        cls,
+        tensor: COOTensor,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        compressed_modes: Sequence[int] | None = None,
+    ) -> "GHiCOOTensor":
+        """Convert from COO, compressing only ``compressed_modes``.
+
+        Defaults to compressing every mode (pure-HiCOO layout inside the
+        gHiCOO container).  Blocks are formed over the compressed modes
+        only and Morton-sorted; uncompressed coordinates travel along.
+        """
+        n = tensor.nmodes
+        if compressed_modes is None:
+            compressed_modes = tuple(range(n))
+        comp = tuple(sorted(check_mode(m, n) for m in compressed_modes))
+        uncomp = tuple(m for m in range(n) if m not in comp)
+        b = np.int64(block_size)
+        inds = tensor.indices.astype(np.int64, copy=False)
+        comp_inds = inds[:, list(comp)]
+        bcoords = comp_inds // b
+        ecoords = (comp_inds - bcoords * b).astype(EINDEX_DTYPE)
+        perm = _hicoo_sort_order(
+            bcoords, ecoords if ecoords.size else np.zeros_like(bcoords, dtype=EINDEX_DTYPE)
+        )
+        bcoords = bcoords[perm]
+        ecoords = np.ascontiguousarray(ecoords[perm])
+        cinds = np.ascontiguousarray(
+            inds[perm][:, list(uncomp)].astype(index_dtype_for(tensor.shape))
+        )
+        values = tensor.values[perm]
+        m = tensor.nnz
+        idt = index_dtype_for(tensor.shape)
+        if m == 0:
+            return cls(
+                tensor.shape,
+                block_size,
+                comp,
+                np.zeros(1, dtype=np.int64),
+                np.empty((0, len(comp)), dtype=idt),
+                np.empty((0, len(comp)), dtype=EINDEX_DTYPE),
+                np.empty((0, len(uncomp)), dtype=idt),
+                values,
+                check=False,
+            )
+        change = np.flatnonzero((np.diff(bcoords, axis=0) != 0).any(axis=1)) + 1
+        starts = np.concatenate(([0], change))
+        bptr = np.concatenate((starts, [m])).astype(np.int64)
+        binds = bcoords[starts].astype(idt)
+        return cls(
+            tensor.shape, block_size, comp, bptr, binds, ecoords, cinds, values,
+            check=False,
+        )
+
+    def to_coo(self) -> COOTensor:
+        """Reassemble full coordinates from block/element/carried parts."""
+        bid = np.repeat(np.arange(self.nblocks, dtype=np.int64), np.diff(self.bptr))
+        inds = np.empty((self.nnz, self.nmodes), dtype=np.int64)
+        comp_full = (
+            self.binds[bid].astype(np.int64) * np.int64(self.block_size)
+            + self.einds.astype(np.int64)
+        )
+        for j, m in enumerate(self.compressed_modes):
+            inds[:, m] = comp_full[:, j]
+        for j, m in enumerate(self.uncompressed_modes):
+            inds[:, m] = self.cinds[:, j].astype(np.int64)
+        return COOTensor(self.shape, inds, self.values, copy=False, check=False)
+
+    def uncompressed_column(self, mode: int) -> np.ndarray:
+        """Full-width index column of an uncompressed ``mode``."""
+        mode = check_mode(mode, self.nmodes)
+        if mode not in self.uncompressed_modes:
+            raise FormatError(f"mode {mode} is compressed in this gHiCOO tensor")
+        return self.cinds[:, self.uncompressed_modes.index(mode)]

@@ -1,0 +1,184 @@
+"""Semi-sparse COO (sCOO) for tensors with dense mode(s) (paper Sec. 3.1).
+
+A *dense mode* is one on which every fiber is dense (e.g. the output mode
+of Ttm, which becomes dense by the sparse-dense property of Li et al.,
+IA^3'16).  sCOO stores the dense modes as dense arrays hanging off each
+sparse coordinate: the ``values`` array gains one axis per dense mode,
+while the remaining (sparse) modes keep COO index columns.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import FormatError, ShapeError
+from repro.types import INDEX_BYTES, VALUE_BYTES, index_dtype_for
+from repro.sptensor.coo import COOTensor
+from repro.util.validation import check_mode, check_shape
+
+
+class SemiCOOTensor:
+    """Semi-sparse tensor: sparse coordinates × dense sub-blocks.
+
+    Parameters
+    ----------
+    shape:
+        Full tensor shape including dense modes.
+    dense_modes:
+        Modes whose fibers are all dense.
+    indices:
+        ``(M, ns)`` coordinates over the *sparse* modes, in increasing mode
+        order (``ns = N - len(dense_modes)``).
+    values:
+        ``(M, *dense_shape)`` array; ``values[m]`` is the dense sub-block
+        attached to sparse coordinate ``m``.
+    """
+
+    __slots__ = ("shape", "dense_modes", "sparse_modes", "indices", "values")
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        dense_modes: Sequence[int],
+        indices: np.ndarray,
+        values: np.ndarray,
+        *,
+        check: bool = True,
+    ):
+        self.shape = check_shape(shape)
+        n = len(self.shape)
+        dm = tuple(sorted(check_mode(m, n) for m in dense_modes))
+        if len(set(dm)) != len(dm) or len(dm) == 0 or len(dm) >= n:
+            raise FormatError(
+                f"dense_modes must be a non-empty proper subset of modes, "
+                f"got {dense_modes} for order {n}"
+            )
+        self.dense_modes = dm
+        self.sparse_modes = tuple(m for m in range(n) if m not in dm)
+        self.indices = np.asarray(indices)
+        self.values = np.asarray(values)
+        if check:
+            self._validate()
+
+    def _validate(self) -> None:
+        ns = len(self.sparse_modes)
+        if self.indices.ndim != 2 or self.indices.shape[1] != ns:
+            raise ShapeError(
+                f"indices must be (M, {ns}), got {self.indices.shape}"
+            )
+        dense_shape = tuple(self.shape[m] for m in self.dense_modes)
+        if self.values.shape != (self.indices.shape[0],) + dense_shape:
+            raise ShapeError(
+                f"values must be (M, {dense_shape}), got {self.values.shape}"
+            )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def nmodes(self) -> int:
+        return len(self.shape)
+
+    @property
+    def nnz_sparse(self) -> int:
+        """Number of sparse coordinates ``M`` (dense fibers)."""
+        return self.indices.shape[0]
+
+    @property
+    def nnz(self) -> int:
+        """Total stored scalars: sparse coordinates × dense block size."""
+        block = 1
+        for m in self.dense_modes:
+            block *= self.shape[m]
+        return self.nnz_sparse * block
+
+    @property
+    def dense_shape(self) -> tuple[int, ...]:
+        return tuple(self.shape[m] for m in self.dense_modes)
+
+    @property
+    def nbytes(self) -> int:
+        """Paper model: 32-bit sparse indices + 32-bit stored values."""
+        return (
+            self.nnz_sparse * len(self.sparse_modes) * INDEX_BYTES
+            + self.nnz * VALUE_BYTES
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SemiCOOTensor(shape={self.shape}, dense_modes={self.dense_modes}, "
+            f"sparse_nnz={self.nnz_sparse})"
+        )
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_coo(
+        cls, tensor: COOTensor, dense_modes: Sequence[int]
+    ) -> "SemiCOOTensor":
+        """Densify the given modes of a COO tensor.
+
+        Groups entries by their sparse-mode coordinates and scatters each
+        group into a dense sub-block.
+        """
+        n = tensor.nmodes
+        dm = tuple(sorted(check_mode(m, n) for m in dense_modes))
+        sm = tuple(m for m in range(n) if m not in dm)
+        dense_shape = tuple(tensor.shape[m] for m in dm)
+        # Sort by sparse coordinates, group runs.
+        order = sm + dm
+        t = tensor.copy()
+        t.sort(order)
+        if t.nnz == 0:
+            return cls(
+                tensor.shape,
+                dm,
+                np.empty((0, len(sm)), dtype=index_dtype_for(tensor.shape)),
+                np.empty((0,) + dense_shape, dtype=t.values.dtype),
+                check=False,
+            )
+        sp = t.indices[:, list(sm)].astype(np.int64)
+        change = np.flatnonzero((np.diff(sp, axis=0) != 0).any(axis=1)) + 1
+        starts = np.concatenate(([0], change))
+        group = np.repeat(np.arange(len(starts)), np.diff(np.concatenate((starts, [t.nnz]))))
+        vals = np.zeros((len(starts),) + dense_shape, dtype=t.values.dtype)
+        dense_coord = tuple(t.indices[:, m].astype(np.int64) for m in dm)
+        np.add.at(vals, (group,) + dense_coord, t.values)
+        return cls(
+            tensor.shape,
+            dm,
+            sp[starts].astype(index_dtype_for(tensor.shape)),
+            vals,
+            check=False,
+        )
+
+    def to_coo(self, drop_zeros: bool = True) -> COOTensor:
+        """Expand dense sub-blocks to explicit coordinates."""
+        m = self.nnz_sparse
+        dense_shape = self.dense_shape
+        block = int(np.prod(dense_shape)) if dense_shape else 1
+        if m == 0 or block == 0:
+            return COOTensor.empty(self.shape, dtype=self.values.dtype)
+        flat_vals = self.values.reshape(m, block)
+        dense_grid = np.stack(
+            [g.ravel() for g in np.indices(dense_shape)], axis=1
+        ).astype(np.int64)
+        inds = np.empty((m * block, self.nmodes), dtype=np.int64)
+        for j, mode in enumerate(self.sparse_modes):
+            inds[:, mode] = np.repeat(self.indices[:, j].astype(np.int64), block)
+        for j, mode in enumerate(self.dense_modes):
+            inds[:, mode] = np.tile(dense_grid[:, j], m)
+        out = COOTensor(
+            self.shape, inds, flat_vals.ravel(), copy=False, check=False
+        )
+        return out.drop_zeros() if drop_zeros else out
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense ndarray."""
+        out = np.zeros(self.shape, dtype=self.values.dtype)
+        # Build an indexing tuple placing dense sub-blocks.
+        for row in range(self.nnz_sparse):
+            sel: list = [slice(None)] * self.nmodes
+            for j, mode in enumerate(self.sparse_modes):
+                sel[mode] = int(self.indices[row, j])
+            out[tuple(sel)] += self.values[row]
+        return out

@@ -1,0 +1,188 @@
+"""Semi-sparse HiCOO (sHiCOO) — this paper's variant for dense-mode tensors.
+
+sHiCOO is to HiCOO what sCOO is to COO (paper Fig. 2(c)): the sparse modes
+are block-compressed with Morton-ordered blocks, 32-bit block indices and
+8-bit element indices, while each entry carries a dense sub-block of values
+covering the dense mode(s).  HiCOO-Ttm pre-allocates its output in this
+format.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import FormatError, ShapeError
+from repro.types import (
+    BPTR_BYTES,
+    DEFAULT_BLOCK_SIZE,
+    EINDEX_BYTES,
+    EINDEX_DTYPE,
+    INDEX_BYTES,
+    VALUE_BYTES,
+    index_dtype_for,
+)
+from repro.sptensor.coo import COOTensor
+from repro.sptensor.hicoo import _hicoo_sort_order
+from repro.sptensor.scoo import SemiCOOTensor
+from repro.util.bits import is_pow2
+from repro.util.validation import check_mode, check_shape
+
+
+class SemiHiCOOTensor:
+    """Semi-sparse tensor with block-compressed sparse modes.
+
+    ``values`` has shape ``(M, *dense_shape)`` like :class:`SemiCOOTensor`;
+    ``binds``/``einds`` cover only the sparse modes, grouped by ``bptr``.
+    """
+
+    __slots__ = (
+        "shape",
+        "block_size",
+        "dense_modes",
+        "sparse_modes",
+        "bptr",
+        "binds",
+        "einds",
+        "values",
+    )
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        block_size: int,
+        dense_modes: Sequence[int],
+        bptr: np.ndarray,
+        binds: np.ndarray,
+        einds: np.ndarray,
+        values: np.ndarray,
+        *,
+        check: bool = True,
+    ):
+        self.shape = check_shape(shape)
+        n = len(self.shape)
+        dm = tuple(sorted(check_mode(m, n) for m in dense_modes))
+        if len(set(dm)) != len(dm) or len(dm) == 0 or len(dm) >= n:
+            raise FormatError(
+                f"dense_modes must be a non-empty proper subset, got {dense_modes}"
+            )
+        if not is_pow2(block_size) or not (1 <= block_size <= 256):
+            raise FormatError(
+                f"block size must be a power of two in [1, 256], got {block_size}"
+            )
+        self.block_size = int(block_size)
+        self.dense_modes = dm
+        self.sparse_modes = tuple(m for m in range(n) if m not in dm)
+        self.bptr = np.asarray(bptr, dtype=np.int64)
+        self.binds = np.asarray(binds)
+        self.einds = np.asarray(einds, dtype=EINDEX_DTYPE)
+        self.values = np.asarray(values)
+        if check:
+            self._validate()
+
+    def _validate(self) -> None:
+        ns = len(self.sparse_modes)
+        if self.binds.ndim != 2 or self.binds.shape[1] != ns:
+            raise ShapeError(f"binds must be (nb, {ns}), got {self.binds.shape}")
+        if self.einds.ndim != 2 or self.einds.shape[1] != ns:
+            raise ShapeError(f"einds must be (M, {ns}), got {self.einds.shape}")
+        dense_shape = tuple(self.shape[m] for m in self.dense_modes)
+        if self.values.shape != (self.einds.shape[0],) + dense_shape:
+            raise ShapeError(
+                f"values must be (M, {dense_shape}), got {self.values.shape}"
+            )
+        if self.bptr[0] != 0 or self.bptr[-1] != self.einds.shape[0]:
+            raise ShapeError("bptr must span [0, M]")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def nmodes(self) -> int:
+        return len(self.shape)
+
+    @property
+    def nnz_sparse(self) -> int:
+        return self.einds.shape[0]
+
+    @property
+    def nnz(self) -> int:
+        block = 1
+        for m in self.dense_modes:
+            block *= self.shape[m]
+        return self.nnz_sparse * block
+
+    @property
+    def nblocks(self) -> int:
+        return self.binds.shape[0]
+
+    @property
+    def dense_shape(self) -> tuple[int, ...]:
+        return tuple(self.shape[m] for m in self.dense_modes)
+
+    @property
+    def nbytes(self) -> int:
+        ns = len(self.sparse_modes)
+        return (
+            self.nblocks * (BPTR_BYTES + ns * INDEX_BYTES)
+            + self.nnz_sparse * ns * EINDEX_BYTES
+            + self.nnz * VALUE_BYTES
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SemiHiCOOTensor(shape={self.shape}, dense_modes={self.dense_modes}, "
+            f"sparse_nnz={self.nnz_sparse}, nblocks={self.nblocks})"
+        )
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_scoo(
+        cls, tensor: SemiCOOTensor, block_size: int = DEFAULT_BLOCK_SIZE
+    ) -> "SemiHiCOOTensor":
+        """Block-compress the sparse coordinates of an sCOO tensor."""
+        b = np.int64(block_size)
+        inds = tensor.indices.astype(np.int64, copy=False)
+        bcoords = inds // b
+        ecoords = (inds - bcoords * b).astype(EINDEX_DTYPE)
+        perm = _hicoo_sort_order(bcoords, ecoords)
+        bcoords = bcoords[perm]
+        ecoords = np.ascontiguousarray(ecoords[perm])
+        values = tensor.values[perm]
+        m = tensor.nnz_sparse
+        idt = index_dtype_for(tensor.shape)
+        if m == 0:
+            return cls(
+                tensor.shape,
+                block_size,
+                tensor.dense_modes,
+                np.zeros(1, dtype=np.int64),
+                np.empty((0, len(tensor.sparse_modes)), dtype=idt),
+                np.empty((0, len(tensor.sparse_modes)), dtype=EINDEX_DTYPE),
+                values,
+                check=False,
+            )
+        change = np.flatnonzero((np.diff(bcoords, axis=0) != 0).any(axis=1)) + 1
+        starts = np.concatenate(([0], change))
+        bptr = np.concatenate((starts, [m])).astype(np.int64)
+        binds = bcoords[starts].astype(idt)
+        return cls(
+            tensor.shape, block_size, tensor.dense_modes, bptr, binds, ecoords,
+            values, check=False,
+        )
+
+    def to_scoo(self) -> SemiCOOTensor:
+        """Expand block/element indices back to full sparse coordinates."""
+        bid = np.repeat(np.arange(self.nblocks, dtype=np.int64), np.diff(self.bptr))
+        inds = (
+            self.binds[bid].astype(np.int64) * np.int64(self.block_size)
+            + self.einds.astype(np.int64)
+        )
+        return SemiCOOTensor(
+            self.shape, self.dense_modes, inds, self.values, check=False
+        )
+
+    def to_coo(self, drop_zeros: bool = True) -> COOTensor:
+        return self.to_scoo().to_coo(drop_zeros=drop_zeros)
+
+    def to_dense(self) -> np.ndarray:
+        return self.to_scoo().to_dense()

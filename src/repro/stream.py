@@ -1,0 +1,137 @@
+"""Streaming tensor accumulation (FireHose-style ingestion).
+
+The paper's power-law generator descends from the FireHose *streaming*
+benchmarks, where a front-end generator emits an unbounded event stream
+and the system under test accumulates state.  This module provides the
+accumulation side: a builder that consumes ``(coords, values)`` batches
+(duplicates sum, as repeated events increment a key's weight) with bounded
+staging memory, and a sliding-window variant that expires old events —
+the streaming analytics pattern (anomaly detection over time windows) the
+paper's application list motivates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.sptensor.coo import COOTensor
+from repro.util.validation import check_shape
+
+
+class StreamingTensorBuilder:
+    """Accumulate a sparse tensor from a stream of coordinate batches.
+
+    Batches are staged and merged (coalesced) whenever the staging area
+    exceeds ``merge_threshold`` entries, keeping memory bounded near the
+    size of the accumulated tensor rather than the stream length.
+
+    >>> b = StreamingTensorBuilder((4, 4))
+    >>> b.push(np.array([[0, 0], [0, 0]]), np.array([1.0, 2.0]))
+    >>> b.finish().to_dense()[0, 0]
+    3.0
+    """
+
+    def __init__(self, shape: Sequence[int], merge_threshold: int = 1 << 18):
+        self.shape = check_shape(shape)
+        self.merge_threshold = int(merge_threshold)
+        self._staged_coords: list[np.ndarray] = []
+        self._staged_values: list[np.ndarray] = []
+        self._staged_count = 0
+        self._merged: COOTensor | None = None
+        self.events_seen = 0
+        self.merges = 0
+
+    def push(self, coords: np.ndarray, values: np.ndarray) -> None:
+        """Ingest one batch of events."""
+        coords = np.asarray(coords)
+        values = np.asarray(values)
+        if coords.ndim != 2 or coords.shape[1] != len(self.shape):
+            raise ShapeError(
+                f"coords must be (n, {len(self.shape)}), got {coords.shape}"
+            )
+        if len(values) != len(coords):
+            raise ShapeError("coords and values must align")
+        self._staged_coords.append(coords.astype(np.int64))
+        self._staged_values.append(values)
+        self._staged_count += len(values)
+        self.events_seen += len(values)
+        if self._staged_count >= self.merge_threshold:
+            self._merge()
+
+    def consume(self, stream: Iterable[tuple[np.ndarray, np.ndarray]]) -> None:
+        """Ingest an entire generator of batches (e.g. ``powerlaw_stream``)."""
+        for coords, values in stream:
+            self.push(coords, values)
+
+    def _merge(self) -> None:
+        if not self._staged_coords:
+            return
+        coords = np.concatenate(self._staged_coords, axis=0)
+        values = np.concatenate(self._staged_values)
+        fresh = COOTensor(self.shape, coords, values, copy=False)
+        if self._merged is None:
+            self._merged = fresh.coalesce()
+        else:
+            from repro.kernels.tew import coo_tew
+
+            self._merged = coo_tew(self._merged, fresh.coalesce(), "add")
+        self._staged_coords.clear()
+        self._staged_values.clear()
+        self._staged_count = 0
+        self.merges += 1
+
+    @property
+    def current_nnz(self) -> int:
+        """Distinct coordinates accumulated so far (staged batches count
+        approximately until the next merge)."""
+        merged = self._merged.nnz if self._merged is not None else 0
+        return merged + self._staged_count
+
+    def finish(self) -> COOTensor:
+        """Flush staging and return the accumulated tensor."""
+        self._merge()
+        if self._merged is None:
+            return COOTensor.empty(self.shape)
+        return self._merged
+
+
+class SlidingWindowTensor:
+    """A tensor over the last ``window`` event batches.
+
+    Each ``push`` admits one batch and evicts the oldest batch beyond the
+    window by subtracting it (sparse Tew), keeping the materialized tensor
+    equal to the coalesced sum of the live window — the state a streaming
+    anomaly detector queries.
+    """
+
+    def __init__(self, shape: Sequence[int], window: int):
+        if window < 1:
+            raise ShapeError("window must be >= 1")
+        self.shape = check_shape(shape)
+        self.window = int(window)
+        self._batches: deque[COOTensor] = deque()
+        self._state: COOTensor = COOTensor.empty(self.shape)
+
+    def push(self, coords: np.ndarray, values: np.ndarray) -> COOTensor:
+        """Admit a batch, evict the expired one, return the live tensor."""
+        from repro.kernels.tew import coo_tew
+
+        batch = COOTensor(self.shape, np.asarray(coords), np.asarray(values)).coalesce()
+        self._batches.append(batch)
+        self._state = coo_tew(self._state, batch, "add")
+        if len(self._batches) > self.window:
+            expired = self._batches.popleft()
+            self._state = coo_tew(self._state, expired, "sub").drop_zeros(1e-12)
+        return self._state
+
+    @property
+    def state(self) -> COOTensor:
+        return self._state
+
+    @property
+    def nbatches(self) -> int:
+        return len(self._batches)

@@ -1,0 +1,141 @@
+"""Shared type definitions, dtypes and enums for the benchmark suite.
+
+The paper (Li et al., PPoPP 2020) fixes the storage convention for every
+format: 32-bit indices, single-precision (32-bit) floating point values,
+and 8-bit element indices inside HiCOO blocks.  These module-level
+constants are the single source of truth for those conventions; every
+format and kernel imports them from here rather than hard-coding dtypes.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+#: Default dtype for COO/HiCOO *block* indices (paper: 32-bit indices).
+INDEX_DTYPE = np.uint32
+
+#: Wide index dtype used when a dimension exceeds the uint32 range or when
+#: intermediate linearized indices may overflow 32 bits.
+WIDE_INDEX_DTYPE = np.int64
+
+#: Dtype for HiCOO element (intra-block) indices (paper: 8 bits).
+EINDEX_DTYPE = np.uint8
+
+#: Default value dtype (paper: single precision).
+VALUE_DTYPE = np.float32
+
+#: Default HiCOO block size (paper Section 5.1.2 fixes B = 128).
+DEFAULT_BLOCK_SIZE = 128
+
+#: Default number of matrix columns for Ttm/Mttkrp (paper: R = 16, chosen to
+#: reflect the low-rank feature of popular tensor methods).
+DEFAULT_RANK = 16
+
+#: Bytes per stored index / value under the paper's convention.
+INDEX_BYTES = 4
+EINDEX_BYTES = 1
+VALUE_BYTES = 4
+BPTR_BYTES = 8
+
+
+class OpKind(str, enum.Enum):
+    """Element-wise operation selector for Tew and Ts kernels."""
+
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+
+    @classmethod
+    def coerce(cls, op: "OpKind | str") -> "OpKind":
+        """Accept either an :class:`OpKind` or its string value."""
+        if isinstance(op, OpKind):
+            return op
+        try:
+            return cls(str(op).lower())
+        except ValueError as exc:  # pragma: no cover - defensive
+            raise ValueError(
+                f"unknown element-wise op {op!r}; expected one of "
+                f"{[m.value for m in cls]}"
+            ) from exc
+
+
+class Schedule(str, enum.Enum):
+    """OpenMP-style loop scheduling strategies for the CPU backend."""
+
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+    GUIDED = "guided"
+
+    @classmethod
+    def coerce(cls, sched: "Schedule | str") -> "Schedule":
+        if isinstance(sched, Schedule):
+            return sched
+        try:
+            return cls(str(sched).lower())
+        except ValueError as exc:  # pragma: no cover - defensive
+            raise ValueError(
+                f"unknown schedule {sched!r}; expected one of "
+                f"{[m.value for m in cls]}"
+            ) from exc
+
+
+class Kernel(str, enum.Enum):
+    """The five benchmark kernels of the suite."""
+
+    TEW = "tew"
+    TS = "ts"
+    TTV = "ttv"
+    TTM = "ttm"
+    MTTKRP = "mttkrp"
+
+    @classmethod
+    def coerce(cls, kernel: "Kernel | str") -> "Kernel":
+        if isinstance(kernel, Kernel):
+            return kernel
+        try:
+            return cls(str(kernel).lower())
+        except ValueError as exc:  # pragma: no cover - defensive
+            raise ValueError(
+                f"unknown kernel {kernel!r}; expected one of "
+                f"{[m.value for m in cls]}"
+            ) from exc
+
+
+class Format(str, enum.Enum):
+    """Sparse tensor storage formats supported by the suite."""
+
+    COO = "coo"
+    SCOO = "scoo"
+    HICOO = "hicoo"
+    GHICOO = "ghicoo"
+    SHICOO = "shicoo"
+    CSF = "csf"
+
+    @classmethod
+    def coerce(cls, fmt: "Format | str") -> "Format":
+        if isinstance(fmt, Format):
+            return fmt
+        try:
+            return cls(str(fmt).lower())
+        except ValueError as exc:  # pragma: no cover - defensive
+            raise ValueError(
+                f"unknown format {fmt!r}; expected one of "
+                f"{[m.value for m in cls]}"
+            ) from exc
+
+
+def index_dtype_for(shape) -> np.dtype:
+    """Return the narrowest supported index dtype covering ``shape``.
+
+    The paper stores 32-bit indices; we transparently widen to int64 for
+    tensors whose dimensions do not fit (e.g. huge synthetic Kronecker
+    tensors), because silently wrapping indices would corrupt data.
+    """
+    if len(shape) == 0:
+        return np.dtype(INDEX_DTYPE)
+    if max(shape) >= np.iinfo(INDEX_DTYPE).max:
+        return np.dtype(WIDE_INDEX_DTYPE)
+    return np.dtype(INDEX_DTYPE)

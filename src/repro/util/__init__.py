@@ -1,0 +1,18 @@
+"""Utility helpers shared across the suite (bit tricks, timing, tables)."""
+
+from repro.util.bits import is_pow2, next_pow2, ilog2
+from repro.util.morton import morton_encode, morton_order, morton_decode
+from repro.util.timing import Timer, time_call
+from repro.util.prng import rng_from_seed
+
+__all__ = [
+    "is_pow2",
+    "next_pow2",
+    "ilog2",
+    "morton_encode",
+    "morton_decode",
+    "morton_order",
+    "Timer",
+    "time_call",
+    "rng_from_seed",
+]

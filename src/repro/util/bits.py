@@ -1,0 +1,22 @@
+"""Small bit-manipulation helpers used by HiCOO blocking and Morton codes."""
+
+from __future__ import annotations
+
+
+def is_pow2(n: int) -> bool:
+    """Return True iff ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def next_pow2(n: int) -> int:
+    """Smallest power of two >= ``n`` (with ``next_pow2(0) == 1``)."""
+    if n <= 1:
+        return 1
+    return 1 << (int(n - 1).bit_length())
+
+
+def ilog2(n: int) -> int:
+    """Integer log2 of a power of two; raises for non-powers."""
+    if not is_pow2(n):
+        raise ValueError(f"ilog2 requires a power of two, got {n}")
+    return n.bit_length() - 1

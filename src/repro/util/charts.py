@@ -1,0 +1,102 @@
+"""ASCII bar charts for rendering the paper's figures in a terminal.
+
+Figures 4-7 are grouped bar charts (GFLOPS per tensor, one bar per
+kernel/format, with a roofline marker).  ``grouped_bars`` renders that
+shape with unicode block glyphs; values can span decades, so an optional
+log scale keeps Mttkrp visible next to Ts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+BAR_CHARS = "▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, vmax: float, width: int, log: bool) -> str:
+    if value <= 0 or vmax <= 0:
+        return ""
+    if log:
+        # map [1, vmax] logarithmically; clamp below 1 to a sliver
+        frac = max(0.0, math.log10(max(value, 1.0))) / max(
+            math.log10(max(vmax, 10.0)), 1e-9
+        )
+    else:
+        frac = value / vmax
+    frac = min(max(frac, 0.0), 1.0)
+    cells = frac * width
+    full = int(cells)
+    rem = cells - full
+    out = "█" * full
+    if rem > 1 / 8 and full < width:
+        out += BAR_CHARS[int(rem * 8) - 1]
+    return out
+
+
+def grouped_bars(
+    groups: Mapping[str, Mapping[str, float]],
+    width: int = 40,
+    log: bool = False,
+    marker: Mapping[tuple[str, str], float] | None = None,
+    unit: str = "",
+) -> str:
+    """Render ``{group: {series: value}}`` as grouped horizontal bars.
+
+    ``marker`` optionally draws a per-row reference value — keyed
+    ``(group, series)``, e.g. that kernel's roofline bound — as a ``|``
+    tick on the bar line.
+    """
+    if not groups:
+        return "(no data)"
+    vmax = max(
+        (v for series in groups.values() for v in series.values()),
+        default=1.0,
+    )
+    if marker:
+        vmax = max(vmax, max(marker.values(), default=0.0))
+    label_w = max(
+        (len(s) for series in groups.values() for s in series), default=4
+    )
+    lines = []
+    for gname, series in groups.items():
+        lines.append(f"{gname}")
+        for sname, value in series.items():
+            bar = _bar(value, vmax, width, log)
+            line = f"  {sname:<{label_w}} {bar:<{width}} {value:.2f}{unit}"
+            if marker and (gname, sname) in marker:
+                mpos = _bar(marker[(gname, sname)], vmax, width, log)
+                tick = min(len(mpos), width - 1)
+                line = (
+                    f"  {sname:<{label_w}} "
+                    + (bar + " " * width)[:tick]
+                    + "|"
+                    + (bar + " " * width)[tick + 1:width]
+                    + f" {value:.2f}{unit}"
+                )
+            lines.append(line)
+    if marker:
+        lines.append("  ('|' marks each kernel's roofline bound)")
+    return "\n".join(lines)
+
+
+def perf_records_chart(
+    records: Sequence,
+    value: str = "gflops",
+    width: int = 36,
+    log: bool = True,
+) -> str:
+    """Chart a list of PerfRecords grouped by tensor, one bar per
+    kernel/format, each with its own roofline marker."""
+    groups: dict[str, dict[str, float]] = {}
+    marker: dict[tuple[str, str], float] = {}
+    for rec in records:
+        series = groups.setdefault(rec.tensor, {})
+        key = f"{rec.kernel}/{rec.fmt}"
+        series[key] = getattr(rec, value)
+        marker[(rec.tensor, key)] = rec.bound_gflops
+    return grouped_bars(
+        groups, width=width, log=log,
+        marker=marker if value == "gflops" else None,
+        unit="",
+    )

@@ -1,0 +1,82 @@
+"""Wall-clock timing helpers for the benchmark harness.
+
+The paper runs each kernel five times and reports the average; mode-oriented
+kernels (Ttv, Ttm, Mttkrp) are further averaged across modes.  These helpers
+implement that measurement protocol.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass
+class Timer:
+    """Context-manager stopwatch accumulating elapsed seconds.
+
+    >>> t = Timer()
+    >>> with t:
+    ...     _ = sum(range(100))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _t0: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.elapsed += time.perf_counter() - self._t0
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Statistics from repeated timing of a callable."""
+
+    mean: float
+    best: float
+    worst: float
+    repeats: int
+    result: Any
+
+    @property
+    def seconds(self) -> float:
+        """The paper reports the average of five runs."""
+        return self.mean
+
+
+def time_call(
+    fn: Callable[[], Any],
+    repeats: int = 5,
+    warmup: int = 1,
+) -> TimingResult:
+    """Time ``fn`` with the paper's protocol: warm-up runs then an average.
+
+    Returns the last call's result alongside the statistics so that
+    benchmark drivers can validate outputs without re-running.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    result = None
+    for _ in range(warmup):
+        result = fn()
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - t0)
+    return TimingResult(
+        mean=sum(times) / len(times),
+        best=min(times),
+        worst=max(times),
+        repeats=repeats,
+        result=result,
+    )

@@ -1,0 +1,58 @@
+"""Argument validation helpers shared by formats and kernels."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ModeError, ShapeError
+
+
+def check_mode(mode: int, nmodes: int) -> int:
+    """Validate and normalize a mode index (negative modes count from end)."""
+    if not isinstance(mode, (int, np.integer)):
+        raise ModeError(f"mode must be an integer, got {type(mode).__name__}")
+    m = int(mode)
+    if m < 0:
+        m += nmodes
+    if not 0 <= m < nmodes:
+        raise ModeError(f"mode {mode} out of range for order-{nmodes} tensor")
+    return m
+
+
+def check_shape(shape: Sequence[int]) -> tuple[int, ...]:
+    """Validate a tensor shape: non-empty with positive integer dims."""
+    shp = tuple(int(s) for s in shape)
+    if len(shp) == 0:
+        raise ShapeError("tensor shape must have at least one mode")
+    if any(s <= 0 for s in shp):
+        raise ShapeError(f"all dimensions must be positive, got {shp}")
+    return shp
+
+
+def check_same_shape(a, b, what: str = "tensors") -> None:
+    """Require two tensor-like objects to have identical shapes."""
+    if tuple(a.shape) != tuple(b.shape):
+        raise ShapeError(f"{what} must have the same shape: {a.shape} vs {b.shape}")
+
+
+def check_indices_in_bounds(indices: np.ndarray, shape: Sequence[int]) -> None:
+    """Require every coordinate column to lie inside the tensor shape."""
+    if indices.ndim != 2 or indices.shape[1] != len(shape):
+        raise ShapeError(
+            f"indices must be (M, {len(shape)}), got shape {indices.shape}"
+        )
+    if indices.shape[0] == 0:
+        return
+    mins = indices.min(axis=0)
+    maxs = indices.max(axis=0)
+    if (mins.astype(np.int64) < 0).any():
+        raise ShapeError("negative tensor indices are invalid")
+    shape_arr = np.asarray(shape, dtype=np.int64)
+    if (maxs.astype(np.int64) >= shape_arr).any():
+        bad = int(np.flatnonzero(maxs.astype(np.int64) >= shape_arr)[0])
+        raise ShapeError(
+            f"index out of bounds on mode {bad}: max index {int(maxs[bad])} "
+            f">= dimension {int(shape_arr[bad])}"
+        )

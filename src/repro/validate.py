@@ -1,0 +1,206 @@
+"""Cross-format / cross-kernel consistency checker (suite self-check).
+
+Benchmark suites live or die by comparability: every format and backend
+must compute the same numbers.  ``validate_tensor`` runs each kernel in
+every applicable representation (COO, HiCOO, CSF, dense reference,
+sequential and threaded backends, simulated GPU) on one tensor and
+reports any disagreement.  The CLI exposes it as
+``python -m repro selfcheck``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.kernels import (
+    coo_mttkrp,
+    coo_tew,
+    coo_ts,
+    coo_ttm,
+    coo_ttv,
+    dense_mttkrp,
+    dense_ttm,
+    dense_ttv,
+    hicoo_mttkrp,
+    hicoo_tew,
+    hicoo_ts,
+    hicoo_ttm,
+    hicoo_ttv,
+)
+from repro.kernels.csf import csf_mttkrp, csf_ttv
+from repro.parallel import OpenMPBackend
+from repro.sptensor import COOTensor, CSFTensor, HiCOOTensor
+from repro.util.prng import rng_from_seed
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one consistency check."""
+
+    name: str
+    passed: bool
+    max_error: float = 0.0
+    detail: str = ""
+
+
+@dataclass
+class ValidationReport:
+    """All checks for one tensor."""
+
+    tensor: str
+    checks: list[CheckResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def add(self, name: str, got, want, rtol: float, atol: float) -> None:
+        got = np.asarray(got, dtype=np.float64)
+        want = np.asarray(want, dtype=np.float64)
+        if got.shape != want.shape:
+            self.checks.append(
+                CheckResult(name, False, float("inf"),
+                            f"shape {got.shape} vs {want.shape}")
+            )
+            return
+        err = float(np.max(np.abs(got - want))) if got.size else 0.0
+        ok = bool(np.allclose(got, want, rtol=rtol, atol=atol))
+        self.checks.append(CheckResult(name, ok, err))
+
+    def render(self) -> str:
+        lines = [f"selfcheck: {self.tensor}"]
+        for c in self.checks:
+            mark = "ok " if c.passed else "FAIL"
+            lines.append(f"  [{mark}] {c.name:40s} max|err| {c.max_error:.3e} {c.detail}")
+        lines.append("PASSED" if self.passed else "FAILED")
+        return "\n".join(lines)
+
+
+def validate_tensor(
+    tensor: COOTensor,
+    rank: int = 8,
+    block_size: int = 16,
+    seed: int = 0,
+    name: str = "tensor",
+    nthreads: int = 4,
+    densify_limit: int = 2_000_000,
+) -> ValidationReport:
+    """Run the full cross-representation consistency matrix on ``tensor``.
+
+    Dense-reference checks are skipped for tensors whose dense form would
+    exceed ``densify_limit`` cells (cross-format checks still run).
+    """
+    report = ValidationReport(name)
+    x = tensor.astype(np.float64).coalesce()
+    h = HiCOOTensor.from_coo(x, block_size)
+    c = CSFTensor.from_coo(x)
+    rng = rng_from_seed(seed)
+    mats = [rng.random((s, rank)) for s in x.shape]
+    vecs = [rng.random(s) for s in x.shape]
+    cells = 1
+    for s in x.shape:
+        cells *= s
+    dense = x.to_dense() if cells <= densify_limit else None
+    rtol, atol = 1e-6, 1e-9
+    be = OpenMPBackend(nthreads=nthreads)
+    try:
+        # Tew / Ts
+        report.add(
+            "tew(coo) vs tew(hicoo)",
+            hicoo_tew(h, h, "add").to_coo().to_dense()
+            if dense is not None
+            else hicoo_tew(h, h, "add").values.sum(),
+            coo_tew(x, x, "add").to_dense()
+            if dense is not None
+            else coo_tew(x, x, "add").values.sum(),
+            rtol,
+            atol,
+        )
+        report.add(
+            "ts(coo) vs ts(hicoo)",
+            np.sort(hicoo_ts(h, 1.5, "mul").values),
+            np.sort(coo_ts(x, 1.5, "mul").values),
+            rtol,
+            atol,
+        )
+        for mode in range(x.nmodes):
+            v, u = vecs[mode], mats[mode]
+            ttv_coo = coo_ttv(x, v, mode)
+            report.add(
+                f"ttv mode {mode}: hicoo vs coo",
+                np.sort(hicoo_ttv(h, v, mode).values),
+                np.sort(ttv_coo.values),
+                rtol,
+                atol,
+            )
+            report.add(
+                f"ttv mode {mode}: csf vs coo",
+                np.sort(csf_ttv(c, v, mode).values),
+                np.sort(ttv_coo.values),
+                rtol,
+                atol,
+            )
+            report.add(
+                f"ttv mode {mode}: omp vs seq",
+                np.sort(coo_ttv(x, v, mode, backend=be).values),
+                np.sort(ttv_coo.values),
+                1e-12,
+                1e-14,
+            )
+            mk_coo = coo_mttkrp(x, mats, mode)
+            report.add(
+                f"mttkrp mode {mode}: hicoo vs coo",
+                hicoo_mttkrp(h, mats, mode),
+                mk_coo,
+                rtol,
+                atol,
+            )
+            report.add(
+                f"mttkrp mode {mode}: csf vs coo",
+                csf_mttkrp(c, mats, mode),
+                mk_coo,
+                rtol,
+                atol,
+            )
+            report.add(
+                f"mttkrp mode {mode}: sort vs atomic",
+                coo_mttkrp(x, mats, mode, method="sort"),
+                mk_coo,
+                1e-10,
+                1e-12,
+            )
+            ttm_coo = coo_ttm(x, u, mode)
+            report.add(
+                f"ttm mode {mode}: hicoo vs coo",
+                np.sort(hicoo_ttm(h, u, mode).values.ravel()),
+                np.sort(ttm_coo.values.ravel()),
+                rtol,
+                atol,
+            )
+            if dense is not None:
+                report.add(
+                    f"ttv mode {mode}: coo vs dense",
+                    ttv_coo.to_dense(),
+                    dense_ttv(dense, v, mode),
+                    rtol,
+                    atol,
+                )
+                report.add(
+                    f"ttm mode {mode}: coo vs dense",
+                    ttm_coo.to_dense(),
+                    dense_ttm(dense, u, mode),
+                    rtol,
+                    atol,
+                )
+                report.add(
+                    f"mttkrp mode {mode}: coo vs dense",
+                    mk_coo,
+                    dense_mttkrp(dense, mats, mode),
+                    rtol,
+                    atol,
+                )
+    finally:
+        be.shutdown()
+    return report

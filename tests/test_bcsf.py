@@ -1,0 +1,113 @@
+"""Tests for the balanced CSF (BCSF) format and its Mttkrp."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.generate import powerlaw_tensor
+from repro.kernels import coo_mttkrp, dense_mttkrp
+from repro.sptensor import COOTensor
+from repro.sptensor.bcsf import BCSFTensor, bcsf_mttkrp
+from tests.conftest import random_mats
+
+
+@pytest.fixture(scope="module")
+def skewed():
+    """A power-law tensor: a few hub roots own most of the non-zeros."""
+    return powerlaw_tensor((400, 400, 20), 6000, dense_modes=(2,), seed=7).astype(
+        np.float64
+    )
+
+
+class TestVirtualRoots:
+    def test_vroots_cover_all_leaves(self, skewed):
+        b = BCSFTensor.from_coo(skewed, max_nnz_per_vroot=64)
+        assert b.vroot_nnz().sum() == skewed.nnz
+
+    def test_vroot_ranges_disjoint_and_sorted(self, skewed):
+        b = BCSFTensor.from_coo(skewed, max_nnz_per_vroot=64)
+        pos = 0
+        for v in b.vroots:
+            assert v.leaf_lo == pos
+            assert v.leaf_hi > v.leaf_lo
+            pos = v.leaf_hi
+        assert pos == skewed.nnz
+
+    def test_balancing_beats_plain_roots(self, skewed):
+        b = BCSFTensor.from_coo(skewed, max_nnz_per_vroot=64)
+        assert b.imbalance() < b.root_imbalance()
+
+    def test_cap_respected_up_to_single_children(self, skewed):
+        cap = 64
+        b = BCSFTensor.from_coo(skewed, max_nnz_per_vroot=cap)
+        for v in b.vroots:
+            # a unit may exceed the cap only if it is a single child
+            assert v.nnz <= cap or (v.child_hi - v.child_lo) == 1
+
+    def test_smaller_cap_more_vroots(self, skewed):
+        b_small = BCSFTensor.from_coo(skewed, max_nnz_per_vroot=16)
+        b_big = BCSFTensor.from_coo(skewed, max_nnz_per_vroot=1024)
+        assert b_small.nvroots > b_big.nvroots
+
+    def test_order2(self):
+        t = COOTensor.random((50, 40), nnz=300, rng=0)
+        b = BCSFTensor.from_coo(t, max_nnz_per_vroot=8)
+        assert b.vroot_nnz().sum() == t.nnz
+        assert all(v.nnz <= 8 for v in b.vroots)
+
+    def test_empty(self):
+        b = BCSFTensor.from_coo(COOTensor.empty((4, 4, 4)))
+        assert b.nvroots == 0
+        assert b.imbalance() == 1.0
+
+    def test_invalid_cap(self, skewed):
+        from repro.sptensor.csf import CSFTensor
+
+        with pytest.raises(ShapeError):
+            BCSFTensor(CSFTensor.from_coo(skewed), 0)
+
+    def test_roundtrip(self, skewed):
+        b = BCSFTensor.from_coo(skewed, max_nnz_per_vroot=32)
+        assert b.to_coo().allclose(skewed)
+
+
+class TestBcsfMttkrp:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_matches_dense(self, skewed, mode):
+        mats = random_mats(skewed.shape, 4, seed=mode)
+        b = BCSFTensor.from_coo(skewed, max_nnz_per_vroot=64)
+        got = bcsf_mttkrp(b, mats, mode)
+        want = dense_mttkrp(skewed.to_dense(), mats, mode)
+        np.testing.assert_allclose(got, want, rtol=1e-8)
+
+    def test_matches_coo(self, skewed):
+        mats = random_mats(skewed.shape, 3, seed=9)
+        b = BCSFTensor.from_coo(skewed, max_nnz_per_vroot=16)
+        np.testing.assert_allclose(
+            bcsf_mttkrp(b, mats, 0), coo_mttkrp(skewed, mats, 0), rtol=1e-8
+        )
+
+    def test_cap_invariance(self, skewed):
+        """The split granularity must not change the numbers."""
+        mats = random_mats(skewed.shape, 3, seed=4)
+        outs = [
+            bcsf_mttkrp(BCSFTensor.from_coo(skewed, max_nnz_per_vroot=c), mats, 1)
+            for c in (8, 128, 10**6)
+        ]
+        np.testing.assert_allclose(outs[0], outs[1], rtol=1e-10)
+        np.testing.assert_allclose(outs[1], outs[2], rtol=1e-10)
+
+    def test_4th_order(self, coo4):
+        x = coo4.astype(np.float64)
+        mats = random_mats(x.shape, 3, seed=5)
+        b = BCSFTensor.from_coo(x, max_nnz_per_vroot=32)
+        np.testing.assert_allclose(
+            bcsf_mttkrp(b, mats, 2),
+            dense_mttkrp(x.to_dense(), mats, 2),
+            rtol=1e-8,
+        )
+
+    def test_empty(self):
+        b = BCSFTensor.from_coo(COOTensor.empty((5, 5, 5)))
+        out = bcsf_mttkrp(b, random_mats((5, 5, 5), 2), 0)
+        assert out.sum() == 0

@@ -1,0 +1,85 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.metrics import PerfRecord
+from repro.util.charts import _bar, grouped_bars, perf_records_chart
+
+
+class TestBar:
+    def test_full_bar(self):
+        assert _bar(10, 10, 8, log=False) == "████████"
+
+    def test_half_bar(self):
+        assert len(_bar(5, 10, 8, log=False)) in (4, 5)
+
+    def test_zero_and_negative(self):
+        assert _bar(0, 10, 8, log=False) == ""
+        assert _bar(-1, 10, 8, log=False) == ""
+
+    def test_log_compression(self):
+        small = len(_bar(1.0, 1000, 30, log=True))
+        mid = len(_bar(100.0, 1000, 30, log=True))
+        assert small < mid < 30 + 1
+
+    def test_fractional_glyphs(self):
+        out = _bar(1, 16, 8, log=False)
+        assert out in ("▌", "▍")  # 1/16 of 8 cells = half a cell
+
+
+class TestGroupedBars:
+    def test_structure(self):
+        out = grouped_bars({"t1": {"a": 1.0, "b": 2.0}}, width=10)
+        lines = out.splitlines()
+        assert lines[0] == "t1"
+        assert "a" in lines[1] and "1.00" in lines[1]
+        assert "b" in lines[2] and "2.00" in lines[2]
+
+    def test_empty(self):
+        assert grouped_bars({}) == "(no data)"
+
+    def test_marker_tick(self):
+        out = grouped_bars(
+            {"t": {"k": 5.0}},
+            width=20,
+            marker={("t", "k"): 10.0},
+        )
+        assert "|" in out
+        assert "roofline" in out
+
+    def test_marker_scales_axis(self):
+        no_marker = grouped_bars({"t": {"k": 5.0}}, width=20)
+        with_marker = grouped_bars(
+            {"t": {"k": 5.0}}, width=20, marker={("t", "k"): 100.0}
+        )
+        bar_len = lambda s: s.splitlines()[1].count("█")
+        assert bar_len(with_marker) < bar_len(no_marker)
+
+
+class TestPerfRecordsChart:
+    def _rec(self, tensor, kernel, g, bound):
+        return PerfRecord(
+            tensor=tensor, kernel=kernel, fmt="coo", platform="P",
+            flops=1.0, seconds=1.0, gflops=g, bound_gflops=bound,
+            efficiency=g / bound,
+        )
+
+    def test_groups_by_tensor(self):
+        recs = [
+            self._rec("a", "tew", 10.0, 20.0),
+            self._rec("a", "ttv", 5.0, 30.0),
+            self._rec("b", "tew", 8.0, 20.0),
+        ]
+        out = perf_records_chart(recs)
+        lines = out.splitlines()
+        assert lines[0] == "a"
+        assert any(line.strip().startswith("b") for line in lines)
+        assert "tew/coo" in out and "ttv/coo" in out
+
+    def test_above_bound_bar_crosses_tick(self):
+        """A cache-resident case (gflops > bound) draws past its tick."""
+        recs = [self._rec("t", "ts", 40.0, 10.0)]
+        out = perf_records_chart(recs, log=False)
+        bar_line = out.splitlines()[1]
+        assert "|" in bar_line
+        assert bar_line.index("|") < bar_line.rindex("█")

@@ -1,0 +1,137 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.sptensor import load_npz, read_tns
+
+
+class TestInfo:
+    def test_info_runs(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Bluesky" in out and "DGX-1V" in out
+
+
+class TestGenerate:
+    def test_kron_to_tns(self, tmp_path, capsys):
+        out = tmp_path / "k.tns"
+        rc = main([
+            "generate", "--kind", "kron", "--shape", "64", "64", "64",
+            "--nnz", "200", "--seed", "1", "-o", str(out),
+        ])
+        assert rc == 0
+        t = read_tns(out)
+        assert t.nnz == 200
+
+    def test_pl_to_npz(self, tmp_path):
+        out = tmp_path / "p.npz"
+        rc = main([
+            "generate", "--kind", "pl", "--shape", "300", "300", "8",
+            "--nnz", "400", "--dense-modes", "2", "-o", str(out),
+        ])
+        assert rc == 0
+        assert load_npz(out).nnz == 400
+
+    def test_table3_config(self, tmp_path):
+        out = tmp_path / "s.npz"
+        rc = main([
+            "generate", "--kind", "table3", "--name", "irrS",
+            "--scale", "5000", "-o", str(out),
+        ])
+        assert rc == 0
+        assert load_npz(out).nmodes == 3
+
+    def test_table2_surrogate(self, tmp_path):
+        out = tmp_path / "r.npz"
+        rc = main([
+            "generate", "--kind", "table2", "--name", "uber4d",
+            "--scale", "2000", "-o", str(out),
+        ])
+        assert rc == 0
+        assert load_npz(out).nmodes == 4
+
+    def test_missing_shape_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "--kind", "kron", "-o", str(tmp_path / "x.tns")])
+
+    def test_missing_name_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "--kind", "table3", "-o", str(tmp_path / "x.tns")])
+
+
+class TestBench:
+    def test_table1(self, capsys):
+        assert main(["bench", "--exp", "table1"]) == 0
+        assert "mttkrp" in capsys.readouterr().out
+
+    def test_table4_csv(self, tmp_path, capsys):
+        csv = tmp_path / "t4.csv"
+        assert main(["bench", "--exp", "table4", "--csv", str(csv)]) == 0
+        assert csv.exists()
+
+    def test_fig3(self, capsys):
+        assert main(["bench", "--exp", "fig3"]) == 0
+        assert "Bluesky" in capsys.readouterr().out
+
+    def test_fig4_subset(self, capsys):
+        rc = main([
+            "bench", "--exp", "fig4", "--scale", "20000",
+            "--dataset", "synthetic", "--tensors", "irrS",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "irrS" in out and "mttkrp" in out
+
+
+class TestSelfcheck:
+    def test_generated_tensor_passes(self, capsys):
+        rc = main(["selfcheck", "--shape", "20", "18", "16", "--nnz", "300"])
+        assert rc == 0
+        assert "PASSED" in capsys.readouterr().out
+
+    def test_file_input(self, tmp_path, capsys):
+        src = tmp_path / "v.tns"
+        main([
+            "generate", "--kind", "pl", "--shape", "30", "30", "4",
+            "--nnz", "120", "--dense-modes", "2", "-o", str(src),
+        ])
+        capsys.readouterr()
+        assert main(["selfcheck", str(src)]) == 0
+        assert "PASSED" in capsys.readouterr().out
+
+
+class TestTune:
+    def test_tune_file(self, tmp_path, capsys):
+        src = tmp_path / "t.npz"
+        main([
+            "generate", "--kind", "pl", "--shape", "400", "400", "8",
+            "--nnz", "1500", "--dense-modes", "2", "-o", str(src),
+        ])
+        capsys.readouterr()
+        assert main(["tune", str(src), "--kernels", "mttkrp", "ttv"]) == 0
+        out = capsys.readouterr().out
+        assert "recommended format" in out
+        assert "coo" in out and "hicoo" in out
+
+    def test_chart_flag(self, capsys):
+        rc = main([
+            "bench", "--exp", "fig4", "--scale", "20000",
+            "--dataset", "synthetic", "--tensors", "irrS", "--chart",
+        ])
+        assert rc == 0
+        assert "█" in capsys.readouterr().out
+
+
+class TestConvert:
+    def test_convert_roundtrip(self, tmp_path, capsys):
+        src = tmp_path / "a.tns"
+        main([
+            "generate", "--kind", "pl", "--shape", "100", "100", "4",
+            "--nnz", "150", "--dense-modes", "2", "-o", str(src),
+        ])
+        dst = tmp_path / "a.npz"
+        assert main(["convert", str(src), "-o", str(dst)]) == 0
+        out = capsys.readouterr().out
+        assert "HiCOO" in out
+        assert load_npz(dst).nnz == 150

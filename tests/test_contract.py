@@ -1,0 +1,115 @@
+"""Tests for sparse contraction and sparse x sparse operand kernels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.kernels import sparse_contract, sparse_inner, sparse_ttm, sparse_ttv
+from repro.sptensor import COOTensor
+
+
+@pytest.fixture
+def x():
+    return COOTensor.random((9, 11, 7), nnz=120, rng=0).astype(np.float64)
+
+
+@pytest.fixture
+def y():
+    return COOTensor.random((7, 8), nnz=30, rng=1).astype(np.float64)
+
+
+class TestSparseContract:
+    def test_single_mode_matches_tensordot(self, x, y):
+        z = sparse_contract(x, y, [2], [0])
+        want = np.tensordot(x.to_dense(), y.to_dense(), axes=([2], [0]))
+        np.testing.assert_allclose(z.to_dense(), want, rtol=1e-9)
+
+    def test_two_mode_contraction(self, x):
+        y = COOTensor.random((11, 7, 5), nnz=80, rng=2).astype(np.float64)
+        z = sparse_contract(x, y, [1, 2], [0, 1])
+        want = np.tensordot(x.to_dense(), y.to_dense(), axes=([1, 2], [0, 1]))
+        np.testing.assert_allclose(z.to_dense(), want, rtol=1e-9)
+
+    def test_output_coalesced(self, x, y):
+        z = sparse_contract(x, y, [2], [0])
+        assert not z.has_duplicates()
+
+    def test_disjoint_patterns_empty(self):
+        a = COOTensor((4, 4), np.array([[0, 0]]), np.array([1.0]))
+        b = COOTensor((4, 4), np.array([[3, 3]]), np.array([1.0]))
+        z = sparse_contract(a, b, [1], [0])
+        assert z.nnz == 0
+
+    def test_dim_mismatch(self, x):
+        bad = COOTensor.random((6, 6), nnz=5, rng=3)
+        with pytest.raises(ShapeError):
+            sparse_contract(x, bad, [2], [0])
+
+    def test_pairing_mismatch(self, x, y):
+        with pytest.raises(ShapeError):
+            sparse_contract(x, y, [2], [0, 1])
+
+    def test_duplicate_modes_rejected(self, x):
+        y3 = COOTensor.random((7, 7, 3), nnz=20, rng=4)
+        with pytest.raises(ShapeError):
+            sparse_contract(x, y3, [2, 2], [0, 1])
+
+    def test_scalar_output_rejected(self, y):
+        other = COOTensor.random((7, 8), nnz=10, rng=5)
+        with pytest.raises(ShapeError, match="sparse_inner"):
+            sparse_contract(y, other, [0, 1], [0, 1])
+
+    def test_empty_operand(self, x):
+        empty = COOTensor.empty((7, 8))
+        z = sparse_contract(x, empty, [2], [0])
+        assert z.nnz == 0
+        assert z.shape == (9, 11, 8)
+
+
+class TestSparseInner:
+    def test_matches_dense(self, x):
+        w = COOTensor.random(x.shape, nnz=100, rng=6).astype(np.float64)
+        want = float((x.to_dense() * w.to_dense()).sum())
+        assert sparse_inner(x, w) == pytest.approx(want)
+
+    def test_self_inner_is_norm_squared(self, x):
+        assert sparse_inner(x, x) == pytest.approx(
+            float((x.values.astype(np.float64) ** 2).sum())
+        )
+
+    def test_disjoint_zero(self):
+        a = COOTensor((3, 3), np.array([[0, 0]]), np.array([2.0]))
+        b = COOTensor((3, 3), np.array([[1, 1]]), np.array([3.0]))
+        assert sparse_inner(a, b) == 0.0
+
+    def test_shape_mismatch(self, x, y):
+        with pytest.raises(ShapeError):
+            sparse_inner(x, y)
+
+
+class TestSparseVectorMatrix:
+    def test_sparse_ttv_matches_dense_vector(self, x):
+        vi = np.array([1, 4, 6])
+        vv = np.array([2.0, -1.0, 0.5])
+        vd = np.zeros(x.shape[2])
+        vd[vi] = vv
+        got = sparse_ttv(x, vi, vv, 2).to_dense()
+        want = np.tensordot(x.to_dense(), vd, axes=([2], [0]))
+        np.testing.assert_allclose(got, want, rtol=1e-9)
+
+    def test_sparse_ttv_validation(self, x):
+        with pytest.raises(ShapeError):
+            sparse_ttv(x, np.array([99]), np.array([1.0]), 2)
+        with pytest.raises(ShapeError):
+            sparse_ttv(x, np.array([1, 2]), np.array([1.0]), 2)
+
+    def test_sparse_ttm_matches_contract(self, x, y):
+        got = sparse_ttm(x, y, 2)
+        want = sparse_contract(x, y, [2], [0])
+        assert got.allclose(want)
+
+    def test_sparse_ttm_validation(self, x):
+        with pytest.raises(ShapeError):
+            sparse_ttm(x, COOTensor.random((7, 3, 2), nnz=5, rng=0), 2)
+        with pytest.raises(ShapeError):
+            sparse_ttm(x, COOTensor.random((6, 3), nnz=5, rng=0), 2)

@@ -1,0 +1,94 @@
+"""Parametric conversion-matrix tests: every format through as_format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.sptensor import (
+    COOTensor,
+    CSFTensor,
+    GHiCOOTensor,
+    HiCOOTensor,
+    SemiCOOTensor,
+    SemiHiCOOTensor,
+    as_format,
+    to_coo,
+)
+from repro.types import Format
+
+
+@pytest.fixture(scope="module")
+def base():
+    return COOTensor.random((30, 25, 20), nnz=500, rng=6)
+
+
+EXPECTED_TYPE = {
+    Format.COO: COOTensor,
+    Format.HICOO: HiCOOTensor,
+    Format.GHICOO: GHiCOOTensor,
+    Format.SCOO: SemiCOOTensor,
+    Format.SHICOO: SemiHiCOOTensor,
+    Format.CSF: CSFTensor,
+}
+
+
+class TestAsFormat:
+    @pytest.mark.parametrize("fmt", list(Format))
+    def test_roundtrip_every_format(self, base, fmt):
+        kw = {}
+        if fmt in (Format.SCOO, Format.SHICOO):
+            kw["dense_modes"] = (2,)
+        converted = as_format(base, fmt, block_size=8, **kw)
+        assert isinstance(converted, EXPECTED_TYPE[fmt])
+        assert to_coo(converted).allclose(base, rtol=1e-5, atol=1e-6)
+
+    @pytest.mark.parametrize(
+        "src_fmt", [Format.HICOO, Format.GHICOO, Format.CSF]
+    )
+    @pytest.mark.parametrize(
+        "dst_fmt", [Format.COO, Format.HICOO, Format.CSF]
+    )
+    def test_cross_conversions(self, base, src_fmt, dst_fmt):
+        src = as_format(base, src_fmt, block_size=8)
+        dst = as_format(src, dst_fmt, block_size=16)
+        assert to_coo(dst).allclose(base, rtol=1e-5, atol=1e-6)
+
+    def test_ghicoo_compressed_modes_forwarded(self, base):
+        g = as_format(base, "ghicoo", block_size=8, compressed_modes=(0, 2))
+        assert g.compressed_modes == (0, 2)
+
+    def test_csf_mode_order_forwarded(self, base):
+        c = as_format(base, "csf", mode_order=(2, 0, 1))
+        assert c.mode_order == (2, 0, 1)
+
+    def test_scoo_requires_dense_modes(self, base):
+        with pytest.raises(FormatError):
+            as_format(base, "scoo")
+        with pytest.raises(FormatError):
+            as_format(base, "shicoo")
+
+    def test_string_format_names(self, base):
+        assert isinstance(as_format(base, "hicoo"), HiCOOTensor)
+
+    def test_to_coo_identity(self, base):
+        assert to_coo(base) is base
+
+    def test_to_coo_rejects_unknown(self):
+        with pytest.raises(FormatError):
+            to_coo(object())
+
+    @pytest.mark.parametrize("fmt", [Format.HICOO, Format.GHICOO, Format.CSF])
+    def test_empty_tensor_every_format(self, fmt):
+        empty = COOTensor.empty((5, 5, 5))
+        converted = as_format(empty, fmt, block_size=4)
+        assert to_coo(converted).nnz == 0
+
+    def test_storage_comparison_across_formats(self, base):
+        """All formats store the same values; bytes differ by metadata."""
+        sizes = {
+            fmt: as_format(base, fmt, block_size=8).nbytes
+            for fmt in (Format.COO, Format.HICOO, Format.CSF)
+        }
+        assert all(v > 0 for v in sizes.values())
+        # value payload alone is a lower bound for every format
+        assert min(sizes.values()) >= base.nnz * 4

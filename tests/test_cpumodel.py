@@ -1,0 +1,118 @@
+"""Tests for the analytic CPU performance model (Observation 3 shapes)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.cpumodel import modeled_cpu_time
+from repro.roofline import BLUESKY, WINGTIP, extract_features
+from repro.roofline.oi import TensorFeatures
+from repro.sptensor import COOTensor
+from repro.types import Format, Kernel
+
+
+def synthetic_features(m=1_000_000, mf_frac=0.3, nb_div=64, contention=40.0):
+    """Hand-built features at paper-like magnitudes."""
+    mf = int(m * mf_frac)
+    return TensorFeatures(
+        name="synth",
+        shape=(10_000, 10_000, 10_000),
+        nnz=m,
+        mf_per_mode=(mf, mf, mf),
+        nb=max(1, m // nb_div),
+        block_size=128,
+        max_fiber_imbalance=4.0,
+        max_block_nnz=nb_div * 4,
+        contention_per_mode=(contention,) * 3,
+    )
+
+
+class TestComponents:
+    def test_streaming_kernels_near_bound(self):
+        f = synthetic_features()
+        t = modeled_cpu_time(BLUESKY, Kernel.TEW, Format.COO, f)
+        assert t.fiber_s == 0 and t.atomic_s == 0 and t.block_s == 0
+        assert t.total_s == t.memory_s
+
+    def test_ttv_pays_fiber_overhead(self):
+        f = synthetic_features()
+        t = modeled_cpu_time(BLUESKY, Kernel.TTV, Format.COO, f)
+        assert t.fiber_s > 0
+        assert t.total_s > t.memory_s
+
+    def test_mttkrp_pays_atomics(self):
+        f = synthetic_features()
+        t = modeled_cpu_time(BLUESKY, Kernel.MTTKRP, Format.COO, f)
+        assert t.atomic_s > t.memory_s  # atomics dominate on CPUs
+
+    def test_hicoo_block_overhead_only_mttkrp(self):
+        f = synthetic_features()
+        for kernel in (Kernel.TEW, Kernel.TS, Kernel.TTV, Kernel.TTM):
+            assert modeled_cpu_time(BLUESKY, kernel, Format.HICOO, f).block_s == 0
+        assert modeled_cpu_time(BLUESKY, Kernel.MTTKRP, Format.HICOO, f).block_s > 0
+
+    def test_cache_resident_small_tensor(self):
+        f = synthetic_features(m=1000)
+        t = modeled_cpu_time(BLUESKY, Kernel.TS, Format.COO, f)
+        assert t.cache_resident
+        assert t.effective_bw_gbs == BLUESKY.ert_llc_bw_gbs
+
+    def test_per_mode_fiber_counts(self):
+        f = TensorFeatures(
+            "x", (100, 100, 100), 10_000, (100, 5000, 5000), 10, 128, 2.0,
+            50, (1.0, 1.0, 1.0),
+        )
+        t0 = modeled_cpu_time(BLUESKY, Kernel.TTV, Format.COO, f, mode=0)
+        t1 = modeled_cpu_time(BLUESKY, Kernel.TTV, Format.COO, f, mode=1)
+        assert t0.fiber_s < t1.fiber_s
+
+
+class TestObservation3Shapes:
+    """The calibrated efficiency shapes of the paper's Observation 3."""
+
+    @staticmethod
+    def _eff(platform, kernel, fmt, f):
+        from repro.roofline import RooflineModel
+        from repro.roofline.oi import cost_for
+
+        t = modeled_cpu_time(platform, kernel, fmt, f)
+        cost = cost_for(f, kernel, fmt)
+        achieved = cost.flops / t.total_s / 1e9
+        bound = RooflineModel(platform).attainable(cost.oi)
+        return achieved / bound
+
+    def test_bluesky_ttv_efficiency_range(self):
+        f = synthetic_features()
+        eff = self._eff(BLUESKY, Kernel.TTV, Format.COO, f)
+        assert 0.1 < eff < 0.6  # paper: ~31%
+
+    def test_wingtip_ttv_worse_than_bluesky(self):
+        f = synthetic_features()
+        assert self._eff(WINGTIP, Kernel.TTV, Format.COO, f) < self._eff(
+            BLUESKY, Kernel.TTV, Format.COO, f
+        )
+
+    def test_ttm_efficiency_higher_than_ttv(self):
+        f = synthetic_features()
+        for p in (BLUESKY, WINGTIP):
+            assert self._eff(p, Kernel.TTM, Format.COO, f) > self._eff(
+                p, Kernel.TTV, Format.COO, f
+            )
+
+    def test_mttkrp_single_digit(self):
+        f = synthetic_features()
+        for p in (BLUESKY, WINGTIP):
+            assert self._eff(p, Kernel.MTTKRP, Format.COO, f) < 0.15
+
+    def test_hicoo_ttv_beats_coo(self):
+        f = synthetic_features()
+        t_coo = modeled_cpu_time(BLUESKY, Kernel.TTV, Format.COO, f)
+        t_hic = modeled_cpu_time(BLUESKY, Kernel.TTV, Format.HICOO, f)
+        assert t_hic.total_s < t_coo.total_s
+
+    def test_real_tensor_features_work(self):
+        t = COOTensor.random((200, 200, 30), nnz=5000, rng=0)
+        f = extract_features(t, "t", 32)
+        for kernel in Kernel:
+            for fmt in (Format.COO, Format.HICOO):
+                timing = modeled_cpu_time(BLUESKY, kernel, fmt, f)
+                assert timing.total_s > 0

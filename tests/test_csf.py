@@ -1,0 +1,78 @@
+"""Tests for the CSF extension format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sptensor import COOTensor, CSFTensor
+
+
+class TestRoundtrip:
+    def test_natural_order(self, coo3):
+        c = CSFTensor.from_coo(coo3)
+        assert c.to_coo().allclose(coo3)
+
+    @pytest.mark.parametrize("order", [(0, 1, 2), (2, 1, 0), (1, 0, 2), (1, 2, 0)])
+    def test_any_mode_order(self, coo3, order):
+        c = CSFTensor.from_coo(coo3, order)
+        assert c.mode_order == order
+        assert c.to_coo().allclose(coo3)
+
+    def test_4th_order(self, coo4):
+        c = CSFTensor.from_coo(coo4, (3, 1, 0, 2))
+        assert c.to_coo().allclose(coo4)
+
+    def test_empty(self):
+        c = CSFTensor.from_coo(COOTensor.empty((3, 3, 3)))
+        assert c.nnz == 0
+        assert c.to_coo().nnz == 0
+
+    def test_duplicates_coalesced(self):
+        t = COOTensor(
+            (3, 3), np.array([[1, 1], [1, 1]]), np.array([1.0, 2.0])
+        )
+        c = CSFTensor.from_coo(t)
+        assert c.nnz == 1
+        assert c.values[0] == pytest.approx(3.0)
+
+
+class TestTreeStructure:
+    def test_level_widths_monotone(self, coo3):
+        c = CSFTensor.from_coo(coo3)
+        widths = c.nodes_per_level()
+        assert len(widths) == 3
+        assert widths[0] <= widths[1] <= widths[2]
+        assert widths[2] == coo3.nnz
+
+    def test_root_level_counts_distinct_indices(self, coo3):
+        c = CSFTensor.from_coo(coo3, (1, 0, 2))
+        distinct = len(np.unique(coo3.indices[:, 1]))
+        assert c.nodes_per_level()[0] == distinct
+
+    def test_fptr_spans_children(self, coo3):
+        c = CSFTensor.from_coo(coo3)
+        for lvl in range(2):
+            assert c.fptr[lvl][0] == 0
+            assert c.fptr[lvl][-1] == len(c.fids[lvl + 1])
+            assert (np.diff(c.fptr[lvl]) >= 1).all()
+
+    def test_compression_vs_coo(self):
+        """CSF shares fiber prefixes, so clustered tensors store fewer
+        index words than COO."""
+        rng = np.random.default_rng(0)
+        # few slices, many entries per slice -> strong prefix sharing
+        inds = np.stack(
+            [
+                rng.integers(0, 4, size=6000),
+                rng.integers(0, 50, size=6000),
+                rng.integers(0, 5000, size=6000),
+            ],
+            axis=1,
+        )
+        t = COOTensor((4, 50, 5000), inds, rng.random(6000)).coalesce()
+        c = CSFTensor.from_coo(t)
+        assert c.nbytes < t.nbytes
+
+    def test_invalid_mode_order(self, coo3):
+        with pytest.raises(ShapeError):
+            CSFTensor.from_coo(coo3, (0, 0, 1))

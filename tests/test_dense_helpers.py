@@ -1,0 +1,92 @@
+"""Tests for dense tensor algebra helpers (unfold/fold/Khatri-Rao)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sptensor.dense import (
+    fold,
+    khatri_rao,
+    khatri_rao_list,
+    mttkrp_khatri_rao_operand,
+    outer,
+    unfold,
+)
+
+
+class TestUnfoldFold:
+    def test_unfold_shape(self):
+        x = np.arange(24.0).reshape(2, 3, 4)
+        assert unfold(x, 0).shape == (2, 12)
+        assert unfold(x, 1).shape == (3, 8)
+        assert unfold(x, 2).shape == (4, 6)
+
+    def test_fold_inverts_unfold(self):
+        x = np.random.default_rng(0).random((3, 4, 5))
+        for mode in range(3):
+            np.testing.assert_allclose(fold(unfold(x, mode), mode, x.shape), x)
+
+    def test_fold_rejects_bad_shape(self):
+        with pytest.raises(ShapeError):
+            fold(np.zeros((3, 5)), 0, (3, 4))
+
+    def test_unfold_rows_are_mode_slices(self):
+        x = np.random.default_rng(1).random((4, 3, 2))
+        u = unfold(x, 1)
+        np.testing.assert_allclose(u[2], x[:, 2, :].ravel())
+
+
+class TestKhatriRao:
+    def test_columnwise_kron(self):
+        a = np.array([[1.0, 2.0], [3.0, 4.0]])
+        b = np.array([[5.0, 6.0], [7.0, 8.0], [9.0, 10.0]])
+        c = khatri_rao(a, b)
+        assert c.shape == (6, 2)
+        np.testing.assert_allclose(c[:, 0], np.kron(a[:, 0], b[:, 0]))
+        np.testing.assert_allclose(c[:, 1], np.kron(a[:, 1], b[:, 1]))
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(ShapeError):
+            khatri_rao(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_list_associativity(self):
+        rng = np.random.default_rng(2)
+        mats = [rng.random((n, 3)) for n in (2, 3, 4)]
+        left = khatri_rao(khatri_rao(mats[0], mats[1]), mats[2])
+        np.testing.assert_allclose(khatri_rao_list(mats), left)
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ShapeError):
+            khatri_rao_list([])
+
+
+class TestMttkrpOperand:
+    def test_consistency_with_unfold(self):
+        """unfold(X, n) @ operand must equal the elementwise definition."""
+        rng = np.random.default_rng(3)
+        x = rng.random((3, 4, 5))
+        mats = [rng.random((s, 2)) for s in x.shape]
+        for mode in range(3):
+            kr = mttkrp_khatri_rao_operand(mats, mode)
+            got = unfold(x, mode) @ kr
+            # brute force
+            want = np.zeros((x.shape[mode], 2))
+            for i in range(3):
+                for j in range(4):
+                    for k in range(5):
+                        idx = (i, j, k)
+                        for r in range(2):
+                            p = x[i, j, k]
+                            for m in range(3):
+                                if m != mode:
+                                    p *= mats[m][idx[m], r]
+                            want[idx[mode], r] += p
+            np.testing.assert_allclose(got, want)
+
+
+class TestOuter:
+    def test_rank1(self):
+        u, v, w = np.array([1.0, 2.0]), np.array([3.0, 4.0]), np.array([5.0])
+        t = outer([u, v, w])
+        assert t.shape == (2, 2, 1)
+        assert t[1, 0, 0] == pytest.approx(2 * 3 * 5)

@@ -1,0 +1,138 @@
+"""Tests for the simulated distributed-memory substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.distributed import (
+    SimNetwork,
+    distributed_cp_als,
+    distributed_mttkrp,
+    partition_nnz,
+)
+from repro.kernels import coo_mttkrp
+from repro.methods import cp_als
+from repro.sptensor import COOTensor
+
+
+@pytest.fixture
+def x():
+    return COOTensor.random((60, 50, 40), nnz=3000, rng=8).astype(np.float64)
+
+
+@pytest.fixture
+def mats(x):
+    rng = np.random.default_rng(0)
+    return [rng.random((s, 6)) for s in x.shape]
+
+
+class TestSimNetwork:
+    def test_clocks_start_zero(self):
+        net = SimNetwork(4)
+        assert net.makespan == 0.0
+
+    def test_local_work_advances_one_rank(self):
+        net = SimNetwork(3)
+        net.local_work(1, 0.5)
+        assert net.makespan == 0.5
+        assert net.clocks[0] == 0.0
+
+    def test_barrier_synchronizes(self):
+        net = SimNetwork(3)
+        net.local_work(2, 1.0)
+        net.barrier()
+        np.testing.assert_allclose(net.clocks, 1.0)
+
+    def test_allreduce_value(self):
+        net = SimNetwork(3)
+        parts = [np.full((2, 2), float(r)) for r in range(3)]
+        total = net.allreduce(parts)
+        np.testing.assert_allclose(total, np.full((2, 2), 3.0))
+        assert net.makespan > 0
+        assert net.collectives == 1
+
+    def test_allreduce_single_rank_free(self):
+        net = SimNetwork(1)
+        net.allreduce([np.ones(4)])
+        assert net.makespan == 0.0
+
+    def test_allreduce_shape_checks(self):
+        net = SimNetwork(2)
+        with pytest.raises(ShapeError):
+            net.allreduce([np.ones(3)])
+        with pytest.raises(ShapeError):
+            net.allreduce([np.ones(3), np.ones(4)])
+
+    def test_allgather(self):
+        net = SimNetwork(2)
+        got = net.allgather([np.zeros(2), np.ones(3)])
+        assert len(got) == 2
+        assert got[1].shape == (3,)
+
+    def test_reduce_scatter_slices(self):
+        net = SimNetwork(2)
+        parts = [np.arange(4.0).reshape(4, 1)] * 2
+        slices = net.reduce_scatter(parts)
+        assert len(slices) == 2
+        np.testing.assert_allclose(np.concatenate(slices), 2 * np.arange(4.0).reshape(4, 1))
+
+    def test_cost_formulas(self):
+        net = SimNetwork(4, latency_s=1e-6, bw_gbs=10.0)
+        assert net.ptp_time(1e7) == pytest.approx(1e-6 + 1e-3)
+        assert net.allreduce_time(1e7) == pytest.approx(
+            6e-6 + 2 * 0.75 * 1e7 / 1e10
+        )
+        assert net.allgather_time(1e7) == pytest.approx(
+            3e-6 + 0.75 * 1e7 / 1e10
+        )
+
+    def test_invalid_rank_count(self):
+        with pytest.raises(ShapeError):
+            SimNetwork(0)
+
+
+class TestDistributedMttkrp:
+    def test_partition_covers(self, x):
+        shards = partition_nnz(x, 5)
+        assert sum(s.nnz for s in shards) == x.nnz
+
+    def test_value_matches_serial(self, x, mats):
+        net = SimNetwork(4)
+        res = distributed_mttkrp(x, mats, 0, net)
+        want = coo_mttkrp(x, mats, 0)
+        np.testing.assert_allclose(res.value, want, rtol=1e-9)
+
+    def test_time_components(self, x, mats):
+        net = SimNetwork(4)
+        res = distributed_mttkrp(x, mats, 1, net)
+        assert res.seconds > 0
+        assert res.comm_seconds > 0
+        assert len(res.local_seconds) == 4
+        assert res.seconds >= max(res.local_seconds)
+
+    def test_more_ranks_less_local_time(self, x, mats):
+        r2 = distributed_mttkrp(x, mats, 0, SimNetwork(2))
+        r8 = distributed_mttkrp(x, mats, 0, SimNetwork(8))
+        assert max(r8.local_seconds) < max(r2.local_seconds)
+
+    def test_comm_grows_with_ranks(self, x, mats):
+        r2 = distributed_mttkrp(x, mats, 0, SimNetwork(2))
+        r8 = distributed_mttkrp(x, mats, 0, SimNetwork(8))
+        assert r8.comm_seconds > r2.comm_seconds
+
+
+class TestDistributedCpAls:
+    def test_fit_matches_serial(self, x):
+        net = SimNetwork(4)
+        dist = distributed_cp_als(x, rank=4, net=net, n_iters=6, seed=3)
+        serial = cp_als(x, rank=4, n_iters=6, seed=3, tol=0.0)
+        np.testing.assert_allclose(
+            dist.fits, serial.fits[: len(dist.fits)], rtol=1e-6
+        )
+
+    def test_time_accumulates(self, x):
+        net = SimNetwork(4)
+        res = distributed_cp_als(x, rank=3, net=net, n_iters=3, tol=0.0)
+        assert res.seconds > 0
+        assert res.comm_seconds > 0
+        assert res.nranks == 4

@@ -1,0 +1,76 @@
+"""Additional harness tests: observations, device scaling, GPU figures."""
+
+import numpy as np
+import pytest
+
+from repro.bench import RunnerConfig, observations
+from repro.bench.experiments import EXPERIMENTS, _dataset
+from repro.gpu.device import P100, V100
+
+
+class TestDeviceScaling:
+    def test_scaled_shrinks_concurrency_and_overhead(self):
+        s = P100.scaled(1000)
+        assert s.sm_count < P100.sm_count
+        assert s.sm_count >= 2
+        assert s.launch_overhead_s == pytest.approx(
+            P100.launch_overhead_s / 1000
+        )
+
+    def test_rates_untouched(self):
+        s = V100.scaled(500)
+        assert s.dram_bw_gbs == V100.dram_bw_gbs
+        assert s.atomic_gups == V100.atomic_gups
+        assert s.peak_sp_gflops == V100.peak_sp_gflops
+
+    def test_scale_one_is_identity(self):
+        assert P100.scaled(1.0) is P100
+        assert P100.scaled(0.5) is P100
+
+
+class TestDatasetHelper:
+    def test_real_and_synthetic(self):
+        real = _dataset("real", 20000, 0, keys=["vast"])
+        syn = _dataset("synthetic", 20000, 0, keys=["irrS"])
+        assert set(real) == {"vast"}
+        assert set(syn) == {"irrS"}
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            _dataset("imaginary", 1000, 0)
+
+
+class TestObservationsSubset:
+    def test_runs_on_tiny_subset(self):
+        """Fast smoke of the Observations machinery (full run is a bench).
+
+        Only the structural integrity is asserted here — tiny subsets are
+        not expected to satisfy every qualitative claim."""
+        rep = observations(
+            scale=20000,
+            keys_real=["vast", "nell2"],
+            keys_syn=["irrS", "regS"],
+            config=RunnerConfig(measure_host=False, cache_scale=20000),
+        )
+        assert rep.exp_id == "observations"
+        obs_ids = {row[0] for row in rep.rows}
+        assert obs_ids == {"1", "2", "3", "4", "5"}
+        assert all(row[-1] in ("yes", "NO") for row in rep.rows)
+
+
+class TestExperimentRegistry:
+    def test_all_ids_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table2", "table3", "table4",
+            "fig3", "fig4", "fig5", "fig6", "fig7", "observations",
+            "sweep-nnz", "sweep-rank", "sweep-density", "sweep-blocksize",
+        }
+
+    def test_sweep_experiment_runs(self):
+        rep = EXPERIMENTS["sweep-blocksize"](scale=1000.0)
+        assert rep.rows
+
+    @pytest.mark.parametrize("exp", ["table1", "table2", "table3", "table4", "fig3"])
+    def test_cheap_experiments_run(self, exp):
+        rep = EXPERIMENTS[exp](scale=1000.0)
+        assert rep.rows

@@ -1,0 +1,149 @@
+"""Tests for the Table 1 work/bytes/OI analysis."""
+
+import pytest
+
+from repro.kernels import (
+    TABLE1_ASYMPTOTIC_OI,
+    kernel_cost,
+    mttkrp_cost,
+    tew_cost,
+    ts_cost,
+    ttm_cost,
+    ttv_cost,
+)
+from repro.types import Format, Kernel
+
+
+M = 1_000_000
+MF = 50_000
+R = 16
+
+
+class TestTable1Formulas:
+    def test_tew(self):
+        c = tew_cost(M)
+        assert c.flops == M
+        assert c.bytes == 12 * M
+        assert c.oi == pytest.approx(1 / 12)
+
+    def test_ts(self):
+        c = ts_cost(M)
+        assert c.flops == M
+        assert c.bytes == 8 * M
+        assert c.oi == pytest.approx(1 / 8)
+
+    def test_ttv(self):
+        c = ttv_cost(M, MF)
+        assert c.flops == 2 * M
+        assert c.bytes == 12 * M + 12 * MF
+        # asymptotically 1/6 when MF << M
+        assert c.oi == pytest.approx(1 / 6, rel=0.1)
+
+    def test_ttm(self):
+        c = ttm_cost(M, MF, R)
+        assert c.flops == 2 * M * R
+        assert c.bytes == 4 * M * R + 4 * MF * R + 8 * M + 8 * MF
+        assert c.oi == pytest.approx(1 / 2, rel=0.2)
+
+    def test_mttkrp_coo(self):
+        c = mttkrp_cost(M, R, Format.COO)
+        assert c.flops == 3 * M * R
+        assert c.bytes == 12 * M * R + 16 * M
+        assert c.oi == pytest.approx(1 / 4, rel=0.1)
+
+    def test_mttkrp_hicoo_less_traffic(self):
+        """HiCOO-Mttkrp moves fewer bytes than COO (Table 1) whenever the
+        blocks contain several non-zeros each."""
+        nb = M // 64  # 64 nnz per block on average
+        coo = mttkrp_cost(M, R, Format.COO)
+        hic = mttkrp_cost(M, R, Format.HICOO, nb=nb, block_size=128)
+        assert hic.bytes < coo.bytes
+        assert hic.oi > coo.oi
+
+    def test_mttkrp_hicoo_requires_nb(self):
+        with pytest.raises(ValueError):
+            mttkrp_cost(M, R, Format.HICOO)
+
+    def test_mttkrp_hicoo_min_clamp(self):
+        """For hyper-sparse tensors (nb ~ M), traffic is capped at 12RM."""
+        c = mttkrp_cost(1000, R, Format.HICOO, nb=1000, block_size=128)
+        assert c.bytes == 12 * R * 1000 + 7 * 1000 + 20 * 1000
+
+
+class TestDispatcher:
+    def test_all_kernels_dispatch(self):
+        assert kernel_cost("tew", "coo", M).kernel is Kernel.TEW
+        assert kernel_cost("ts", "coo", M).kernel is Kernel.TS
+        assert kernel_cost("ttv", "coo", M, mf=MF).kernel is Kernel.TTV
+        assert kernel_cost("ttm", "coo", M, mf=MF, r=R).kernel is Kernel.TTM
+        assert (
+            kernel_cost("mttkrp", "hicoo", M, r=R, nb=M // 10).kernel
+            is Kernel.MTTKRP
+        )
+
+    def test_missing_mf_raises(self):
+        with pytest.raises(ValueError):
+            kernel_cost("ttv", "coo", M)
+        with pytest.raises(ValueError):
+            kernel_cost("ttm", "coo", M)
+
+
+class TestOrderGeneralization:
+    """The Table 1 formulas generalize beyond third order."""
+
+    def test_third_order_matches_table1(self):
+        """At N=3 the general formulas reduce to the quoted ones."""
+        assert ttv_cost(M, MF, order=3).bytes == 12 * M + 12 * MF
+        assert ttm_cost(M, MF, R, order=3).bytes == (
+            4 * M * R + 4 * MF * R + 8 * M + 8 * MF
+        )
+        assert mttkrp_cost(M, R, order=3).bytes == 12 * M * R + 16 * M
+        nb = M // 64
+        assert mttkrp_cost(M, R, Format.HICOO, nb=nb, order=3).bytes == (
+            12 * R * min(nb * 128, M) + 7 * M + 20 * nb
+        )
+
+    def test_fourth_order_scales_index_terms(self):
+        t3 = ttv_cost(M, MF, order=3)
+        t4 = ttv_cost(M, MF, order=4)
+        assert t4.bytes - t3.bytes == 4 * MF  # one more output index array
+
+    def test_mttkrp_flops_scale_with_order(self):
+        assert mttkrp_cost(M, R, order=4).flops == 4 * M * R
+
+    def test_tew_ts_order_independent(self):
+        assert tew_cost(M, order=3).bytes == tew_cost(M, order=5).bytes
+        assert ts_cost(M, order=3).bytes == ts_cost(M, order=5).bytes
+
+    def test_dispatcher_forwards_order(self):
+        c3 = kernel_cost("mttkrp", "coo", M, r=R, order=3)
+        c4 = kernel_cost("mttkrp", "coo", M, r=R, order=4)
+        assert c4.flops > c3.flops and c4.bytes > c3.bytes
+
+
+class TestAsymptoticOIs:
+    def test_paper_values(self):
+        assert TABLE1_ASYMPTOTIC_OI[Kernel.TEW] == pytest.approx(1 / 12)
+        assert TABLE1_ASYMPTOTIC_OI[Kernel.TS] == pytest.approx(1 / 8)
+        assert TABLE1_ASYMPTOTIC_OI[Kernel.TTV] == pytest.approx(1 / 6)
+        assert TABLE1_ASYMPTOTIC_OI[Kernel.TTM] == pytest.approx(1 / 2)
+        assert TABLE1_ASYMPTOTIC_OI[Kernel.MTTKRP] == pytest.approx(1 / 4)
+
+    def test_exact_converges_to_asymptotic(self):
+        """With MF/M -> 0 and R -> inf where applicable, the exact OI tends
+        to the quoted asymptotic value."""
+        m = 10**9
+        assert ttv_cost(m, 1).oi == pytest.approx(1 / 6, rel=1e-4)
+        assert ttm_cost(m, 1, 10**4).oi == pytest.approx(1 / 2, rel=1e-3)
+        assert mttkrp_cost(m, 10**4).oi == pytest.approx(1 / 4, rel=1e-3)
+
+    def test_kernel_ranking_by_oi(self):
+        """Table 1 ordering: Tew < Ts < Ttv < Mttkrp < Ttm."""
+        ois = TABLE1_ASYMPTOTIC_OI
+        assert (
+            ois[Kernel.TEW]
+            < ois[Kernel.TS]
+            < ois[Kernel.TTV]
+            < ois[Kernel.MTTKRP]
+            < ois[Kernel.TTM]
+        )

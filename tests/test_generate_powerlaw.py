@@ -1,0 +1,114 @@
+"""Tests for the biased power-law stream generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GenerationError
+from repro.generate import (
+    powerlaw_indices,
+    powerlaw_stream,
+    powerlaw_tensor,
+)
+from repro.generate.graph import (
+    degree_distribution,
+    degree_tail_ratio,
+    powerlaw_exponent_mle,
+)
+from repro.sptensor import COOTensor
+
+
+class TestPowerlawIndices:
+    def test_range_and_count(self):
+        rng = np.random.default_rng(0)
+        idx = powerlaw_indices(5000, 1000, 2.0, rng)
+        assert len(idx) == 5000
+        assert idx.min() >= 0 and idx.max() < 1000
+
+    def test_heavy_tail(self):
+        rng = np.random.default_rng(1)
+        idx = powerlaw_indices(20000, 10000, 2.2, rng, shuffle_map=False)
+        counts = np.bincount(idx)
+        # rank-0 key should dominate strongly
+        assert counts[0] > 0.2 * len(idx)
+
+    def test_alpha_controls_skew(self):
+        rng = np.random.default_rng(2)
+        mild = powerlaw_indices(20000, 1000, 1.5, np.random.default_rng(2), shuffle_map=False)
+        steep = powerlaw_indices(20000, 1000, 3.0, np.random.default_rng(2), shuffle_map=False)
+        assert np.bincount(steep)[0] > np.bincount(mild)[0]
+
+    def test_invalid_params(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(GenerationError):
+            powerlaw_indices(10, 0, 2.0, rng)
+        with pytest.raises(GenerationError):
+            powerlaw_indices(10, 10, 1.0, rng)
+
+    def test_shuffle_map_scatters_hubs(self):
+        a = powerlaw_indices(1000, 500, 2.0, np.random.default_rng(3), shuffle_map=False)
+        b = powerlaw_indices(1000, 500, 2.0, np.random.default_rng(3), shuffle_map=True)
+        # unshuffled hubs sit at low ranks; shuffled ones are spread
+        assert a.mean() < b.mean()
+
+
+class TestPowerlawTensor:
+    def test_exact_nnz_distinct(self):
+        t = powerlaw_tensor((2000, 2000, 16), 3000, dense_modes=(2,), seed=0)
+        assert t.nnz == 3000
+        assert not t.has_duplicates()
+
+    def test_determinism(self):
+        a = powerlaw_tensor((500, 500, 8), 800, seed=9)
+        b = powerlaw_tensor((500, 500, 8), 800, seed=9)
+        assert a.allclose(b)
+
+    def test_dense_mode_fully_occupied(self):
+        """A short uniform mode is effectively dense (the paper's
+        irregular tensors have 'one mode completely dense')."""
+        t = powerlaw_tensor((5000, 5000, 12), 10000, dense_modes=(2,), seed=1)
+        from repro.sptensor import mode_fill
+
+        assert mode_fill(t, 2) == 1.0
+
+    def test_sparse_modes_powerlaw(self):
+        t = powerlaw_tensor((20000, 20000, 8), 30000, dense_modes=(2,), seed=2)
+        deg = degree_distribution(t, 0)
+        alpha = powerlaw_exponent_mle(deg, dmin=2)
+        assert 1.2 < alpha < 4.0
+        assert degree_tail_ratio(deg) > 0.05
+
+    def test_capacity_check(self):
+        with pytest.raises(GenerationError):
+            powerlaw_tensor((3, 3), 100, seed=0)
+
+    def test_hub_saturation_raises(self):
+        """Extremely steep power laws cannot realize many distinct
+        coordinates; the generator reports it rather than spinning."""
+        with pytest.raises(GenerationError):
+            powerlaw_tensor((20, 20), 350, alpha=8.0, seed=0, max_rounds=4)
+
+    def test_4th_order_two_dense_modes(self):
+        t = powerlaw_tensor(
+            (3000, 3000, 10, 14), 5000, dense_modes=(2, 3), seed=3
+        )
+        assert t.nmodes == 4
+        assert t.nnz == 5000
+
+
+class TestPowerlawStream:
+    def test_batches_accumulate_to_tensor(self):
+        shape = (400, 400, 8)
+        parts = list(powerlaw_stream(5000, shape, dense_modes=(2,), seed=4, batch=1024))
+        assert sum(len(v) for _, v in parts) == 5000
+        coords = np.concatenate([c for c, _ in parts])
+        vals = np.concatenate([v for _, v in parts])
+        t = COOTensor(shape, coords, vals).coalesce()
+        assert 0 < t.nnz <= 5000  # stream revisits hot keys
+
+    def test_stream_has_duplicates(self):
+        """Unlike the tensor generator, the raw stream revisits keys."""
+        shape = (50, 50, 4)
+        parts = list(powerlaw_stream(5000, shape, seed=5))
+        coords = np.concatenate([c for c, _ in parts])
+        uniq = np.unique(coords, axis=0)
+        assert len(uniq) < len(coords)

@@ -1,0 +1,70 @@
+"""Tests for gHiCOO — the paper's generalized HiCOO variant."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.sptensor import COOTensor, GHiCOOTensor, HiCOOTensor
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("comp", [(0,), (1,), (2,), (0, 1), (0, 2), (1, 2), (0, 1, 2)])
+    def test_any_compressed_subset(self, coo3, comp):
+        g = GHiCOOTensor.from_coo(coo3, 8, comp)
+        assert g.compressed_modes == comp
+        assert g.to_coo().allclose(coo3)
+
+    def test_default_compresses_all(self, coo3):
+        g = GHiCOOTensor.from_coo(coo3, 8)
+        assert g.compressed_modes == (0, 1, 2)
+
+    def test_empty(self):
+        g = GHiCOOTensor.from_coo(COOTensor.empty((4, 4, 4)), 4, (0, 1))
+        assert g.nnz == 0
+        assert g.to_coo().nnz == 0
+
+    def test_4th_order(self, coo4):
+        g = GHiCOOTensor.from_coo(coo4, 4, (1, 3))
+        assert g.to_coo().allclose(coo4)
+
+
+class TestStructure:
+    def test_requires_a_compressed_mode(self, coo3):
+        with pytest.raises(FormatError):
+            GHiCOOTensor.from_coo(coo3, 8, ())
+
+    def test_duplicate_modes_rejected(self, coo3):
+        with pytest.raises(FormatError):
+            GHiCOOTensor.from_coo(coo3, 8, (0, 0))
+
+    def test_uncompressed_column_access(self, coo3):
+        g = GHiCOOTensor.from_coo(coo3, 8, (0, 1))
+        col = g.uncompressed_column(2)
+        assert col.shape == (coo3.nnz,)
+        with pytest.raises(FormatError):
+            g.uncompressed_column(0)
+
+    def test_full_compression_matches_hicoo_grouping(self, coo3):
+        g = GHiCOOTensor.from_coo(coo3, 8, (0, 1, 2))
+        h = HiCOOTensor.from_coo(coo3, 8)
+        assert g.nblocks == h.nblocks
+        np.testing.assert_array_equal(g.bptr, h.bptr)
+        np.testing.assert_array_equal(
+            g.binds.astype(np.int64), h.binds.astype(np.int64)
+        )
+
+
+class TestHypersparseRescue:
+    """gHiCOO's motivation: on hyper-sparse tensors, compressing fewer
+    modes shrinks storage versus full HiCOO (paper Sec. 3.3)."""
+
+    def test_partial_compression_beats_full_on_hypersparse(self):
+        t = COOTensor.random((2**20, 2**20, 64), nnz=3000, rng=2)
+        full = HiCOOTensor.from_coo(t, 128)
+        partial = GHiCOOTensor.from_coo(t, 128, (2,))
+        assert partial.nbytes < full.nbytes
+
+    def test_block_count_shrinks_with_fewer_modes(self, coo3):
+        g_all = GHiCOOTensor.from_coo(coo3, 4, (0, 1, 2))
+        g_one = GHiCOOTensor.from_coo(coo3, 4, (0,))
+        assert g_one.nblocks <= g_all.nblocks

@@ -1,0 +1,83 @@
+"""Tests for the graph-property validators (Section 4 claims)."""
+
+import numpy as np
+import pytest
+
+from repro.generate import (
+    clustering_coefficient,
+    degree_distribution,
+    degree_tail_ratio,
+    effective_diameter,
+    kronecker_tensor,
+    powerlaw_exponent_mle,
+    powerlaw_tensor,
+    project_graph,
+)
+from repro.sptensor import COOTensor
+
+
+class TestDegreeDistribution:
+    def test_sums_to_nnz(self):
+        t = COOTensor.random((50, 40, 30), nnz=300, rng=0)
+        for m in range(3):
+            assert degree_distribution(t, m).sum() == t.nnz
+
+    def test_only_nonzero_degrees(self):
+        t = COOTensor((10, 10), np.array([[0, 0], [0, 1]]), np.ones(2))
+        deg = degree_distribution(t, 0)
+        assert (deg > 0).all()
+        assert len(deg) == 1
+
+
+class TestExponentFit:
+    def test_recovers_planted_exponent(self):
+        """MLE on samples from a known power law lands near the truth.
+
+        The continuous-MLE-with-offset estimator is biased at dmin=1 on
+        discrete data (Clauset et al. fit the tail), so fit from dmin=3.
+        """
+        rng = np.random.default_rng(0)
+        alpha_true = 2.5
+        degrees = rng.zipf(alpha_true, 50000)
+        est = powerlaw_exponent_mle(degrees, dmin=3)
+        assert abs(est - alpha_true) < 0.2
+
+    def test_degenerate_input(self):
+        assert np.isnan(powerlaw_exponent_mle(np.array([3])))
+
+    def test_tail_ratio_uniform_vs_skewed(self):
+        uniform = np.ones(1000)
+        skewed = np.ones(1000)
+        skewed[:10] = 500
+        assert degree_tail_ratio(skewed) > degree_tail_ratio(uniform)
+
+    def test_tail_ratio_empty(self):
+        assert degree_tail_ratio(np.zeros(5)) == 0.0
+
+
+class TestProjections:
+    @pytest.fixture(scope="class")
+    def small_pl(self):
+        return powerlaw_tensor((200, 200, 6), 1500, dense_modes=(2,), seed=2)
+
+    def test_project_graph_bipartite(self, small_pl):
+        g = project_graph(small_pl, (0, 1))
+        assert g.number_of_edges() > 0
+        # sides are disjoint thanks to the offset
+        assert max(n for n in g.nodes) >= small_pl.shape[0]
+
+    def test_clustering_positive_for_generated(self, small_pl):
+        cc = clustering_coefficient(small_pl)
+        assert 0.0 <= cc <= 1.0
+
+    def test_kronecker_clusters_more_than_uniform(self):
+        """Paper claim: Kronecker graphs have high clustering; uniform
+        random tensors of the same size do not."""
+        kron = kronecker_tensor((256, 256, 256), 3000, seed=3)
+        unif = COOTensor.random((256, 256, 256), nnz=3000, rng=3)
+        assert clustering_coefficient(kron) > clustering_coefficient(unif)
+
+    def test_effective_diameter_small(self, small_pl):
+        """Power-law graphs exhibit a small diameter (paper claim)."""
+        d = effective_diameter(small_pl)
+        assert 0 < d <= 8

@@ -1,0 +1,122 @@
+"""Tests for the CSF kernels (Ttv and SPLATT-style Mttkrp)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.kernels import csf_mttkrp, csf_ttv, dense_mttkrp, dense_ttv
+from repro.kernels import coo_mttkrp, coo_ttv
+from repro.sptensor import COOTensor, CSFTensor
+from tests.conftest import random_mats
+
+
+@pytest.fixture(scope="module")
+def x():
+    return COOTensor.random((18, 15, 12), nnz=350, rng=11).astype(np.float64)
+
+
+@pytest.fixture(scope="module")
+def c(x):
+    return CSFTensor.from_coo(x)
+
+
+class TestCsfTtv:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_matches_dense_all_modes(self, x, c, mode):
+        v = np.random.default_rng(mode).random(x.shape[mode])
+        out = csf_ttv(c, v, mode)
+        np.testing.assert_allclose(
+            out.to_coo().to_dense(), dense_ttv(x.to_dense(), v, mode), rtol=1e-9
+        )
+
+    def test_leaf_mode_no_rebuild(self, x):
+        """With the product mode already at the leaves the upper levels
+        carry over unchanged."""
+        c = CSFTensor.from_coo(x, (0, 1, 2))
+        v = np.ones(x.shape[2])
+        out = csf_ttv(c, v, 2)
+        np.testing.assert_array_equal(out.fids[0], c.fids[0])
+        np.testing.assert_array_equal(out.fptr[0], c.fptr[0])
+
+    def test_output_order(self, x, c):
+        v = np.ones(x.shape[1])
+        out = csf_ttv(c, v, 1)
+        assert out.nmodes == 2
+        assert out.shape == (x.shape[0], x.shape[2])
+
+    def test_4th_order(self, coo4):
+        x4 = coo4.astype(np.float64)
+        c4 = CSFTensor.from_coo(x4, (2, 0, 3, 1))
+        v = np.random.default_rng(5).random(x4.shape[3])
+        out = csf_ttv(c4, v, 3)
+        np.testing.assert_allclose(
+            out.to_coo().to_dense(), dense_ttv(x4.to_dense(), v, 3), rtol=1e-9
+        )
+
+    def test_order2_reduces_to_matvec(self):
+        x = COOTensor.random((20, 15), nnz=100, rng=3).astype(np.float64)
+        c = CSFTensor.from_coo(x)
+        v = np.random.default_rng(1).random(15)
+        out = csf_ttv(c, v, 1)
+        np.testing.assert_allclose(
+            out.to_coo().to_dense(), x.to_dense() @ v, rtol=1e-9
+        )
+
+    def test_empty(self):
+        c = CSFTensor.from_coo(COOTensor.empty((5, 5, 5)))
+        out = csf_ttv(c, np.ones(5), 0)
+        assert out.nnz == 0
+
+    def test_bad_vector(self, c):
+        with pytest.raises(ShapeError):
+            csf_ttv(c, np.ones(99), 0)
+
+    def test_matches_coo_ttv(self, x, c):
+        v = np.random.default_rng(8).random(x.shape[0])
+        np.testing.assert_allclose(
+            csf_ttv(c, v, 0).to_coo().to_dense(),
+            coo_ttv(x, v, 0).to_dense(),
+            rtol=1e-9,
+        )
+
+
+class TestCsfMttkrp:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_matches_dense_all_modes(self, x, c, mode):
+        mats = random_mats(x.shape, 4, seed=mode)
+        np.testing.assert_allclose(
+            csf_mttkrp(c, mats, mode),
+            dense_mttkrp(x.to_dense(), mats, mode),
+            rtol=1e-9,
+        )
+
+    def test_root_mode_no_rebuild(self, x):
+        c = CSFTensor.from_coo(x, (1, 0, 2))
+        mats = random_mats(x.shape, 3, seed=9)
+        np.testing.assert_allclose(
+            csf_mttkrp(c, mats, 1), coo_mttkrp(x, mats, 1), rtol=1e-9
+        )
+
+    def test_4th_order(self, coo4):
+        x4 = coo4.astype(np.float64)
+        c4 = CSFTensor.from_coo(x4)
+        mats = random_mats(x4.shape, 3, seed=2)
+        np.testing.assert_allclose(
+            csf_mttkrp(c4, mats, 2),
+            dense_mttkrp(x4.to_dense(), mats, 2),
+            rtol=1e-9,
+        )
+
+    def test_empty(self):
+        c = CSFTensor.from_coo(COOTensor.empty((4, 4, 4)))
+        out = csf_mttkrp(c, random_mats((4, 4, 4), 2), 0)
+        assert out.shape == (4, 2)
+        assert out.sum() == 0
+
+    def test_validation(self, c, x):
+        with pytest.raises(ShapeError):
+            csf_mttkrp(c, [np.ones((5, 2))], 0)
+        bad = random_mats(x.shape, 3)
+        bad[1] = np.ones((x.shape[1], 5))
+        with pytest.raises(ShapeError):
+            csf_mttkrp(c, bad, 0)

@@ -1,0 +1,182 @@
+"""Tests for the Tew and Ts kernels against dense references."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PatternMismatchError
+from repro.kernels import (
+    coo_tew,
+    coo_ts,
+    dense_tew,
+    dense_ts,
+    hicoo_tew,
+    hicoo_ts,
+    tew,
+    ts,
+)
+from repro.parallel import OpenMPBackend
+from repro.sptensor import COOTensor, HiCOOTensor
+from repro.types import OpKind
+
+
+@pytest.fixture
+def pair(rng):
+    """Two tensors with overlapping but different patterns."""
+    x = COOTensor.random((15, 14, 13), nnz=300, rng=rng).astype(np.float64)
+    y = COOTensor.random((15, 14, 13), nnz=300, rng=rng).astype(np.float64)
+    return x, y
+
+
+class TestCooTewGeneral:
+    def test_add_union_semantics(self, pair):
+        x, y = pair
+        z = coo_tew(x, y, "add")
+        np.testing.assert_allclose(z.to_dense(), x.to_dense() + y.to_dense())
+
+    def test_sub_union_semantics(self, pair):
+        x, y = pair
+        z = coo_tew(x, y, "sub")
+        np.testing.assert_allclose(z.to_dense(), x.to_dense() - y.to_dense())
+
+    def test_mul_intersection_semantics(self, pair):
+        x, y = pair
+        z = coo_tew(x, y, "mul")
+        np.testing.assert_allclose(z.to_dense(), x.to_dense() * y.to_dense())
+
+    def test_div_intersection_semantics(self, pair):
+        x, y = pair
+        z = coo_tew(x, y, "div")
+        dx, dy = x.to_dense(), y.to_dense()
+        want = dense_tew(dx, dy, OpKind.DIV)  # zero where y == 0
+        # sparse div only defines entries where BOTH stored
+        mask = (dx != 0) & (dy != 0)
+        np.testing.assert_allclose(z.to_dense()[mask], want[mask])
+        assert (z.to_dense()[~mask] == 0).all()
+
+    def test_disjoint_patterns_add(self):
+        x = COOTensor((4, 4), np.array([[0, 0]]), np.array([1.0]))
+        y = COOTensor((4, 4), np.array([[3, 3]]), np.array([2.0]))
+        z = coo_tew(x, y, "add")
+        assert z.nnz == 2
+        d = z.to_dense()
+        assert d[0, 0] == 1.0 and d[3, 3] == 2.0
+
+    def test_disjoint_patterns_mul_empty(self):
+        x = COOTensor((4, 4), np.array([[0, 0]]), np.array([1.0]))
+        y = COOTensor((4, 4), np.array([[3, 3]]), np.array([2.0]))
+        assert coo_tew(x, y, "mul").nnz == 0
+
+    def test_shape_mismatch(self, pair):
+        x, _ = pair
+        other = COOTensor.empty((2, 2, 2))
+        with pytest.raises(Exception):
+            coo_tew(x, other, "add")
+
+
+class TestCooTewSamePattern:
+    def test_fast_path_matches_general(self, coo3):
+        x = coo3.copy().sort()
+        y = x.copy()
+        y.values = y.values * 2
+        fast = coo_tew(x, y, "add", assume_same_pattern=True)
+        general = coo_tew(x, y, "add")
+        assert fast.allclose(general, rtol=1e-5)
+
+    def test_nnz_mismatch_rejected(self, coo3):
+        y = COOTensor.random(coo3.shape, nnz=coo3.nnz - 10, rng=0)
+        with pytest.raises(PatternMismatchError):
+            coo_tew(coo3, y, "add", assume_same_pattern=True)
+
+    def test_all_ops_on_same_pattern(self, coo3):
+        x = coo3.astype(np.float64).sort()
+        y = x.copy()
+        y.values = np.abs(y.values) + 1.0
+        for op in OpKind:
+            z = coo_tew(x, y, op, assume_same_pattern=True)
+            want = {
+                OpKind.ADD: x.values + y.values,
+                OpKind.SUB: x.values - y.values,
+                OpKind.MUL: x.values * y.values,
+                OpKind.DIV: x.values / y.values,
+            }[op]
+            np.testing.assert_allclose(z.values, want)
+
+
+class TestHicooTew:
+    def test_same_structure_fast_path(self, coo3):
+        hx = HiCOOTensor.from_coo(coo3, 8)
+        hy = HiCOOTensor.from_coo(coo3, 8)
+        hz = hicoo_tew(hx, hy, "add")
+        np.testing.assert_allclose(
+            hz.to_coo().to_dense(), 2 * coo3.to_dense(), rtol=1e-5
+        )
+        # structure is shared, not rebuilt
+        np.testing.assert_array_equal(hz.bptr, hx.bptr)
+
+    def test_different_patterns_merge(self, rng):
+        x = COOTensor.random((20, 20, 20), nnz=200, rng=rng)
+        y = COOTensor.random((20, 20, 20), nnz=200, rng=rng)
+        hz = hicoo_tew(
+            HiCOOTensor.from_coo(x, 8), HiCOOTensor.from_coo(y, 8), "add"
+        )
+        np.testing.assert_allclose(
+            hz.to_coo().to_dense(), x.to_dense() + y.to_dense(), rtol=1e-5
+        )
+
+    def test_dispatcher(self, coo3, hicoo3):
+        zc = tew(coo3, coo3, "add")
+        zh = tew(hicoo3, hicoo3, "add")
+        np.testing.assert_allclose(
+            zh.to_coo().to_dense(), zc.to_dense(), rtol=1e-5
+        )
+
+
+class TestTs:
+    @pytest.mark.parametrize("op", ["add", "sub", "mul", "div"])
+    def test_coo_matches_dense(self, coo3, dense3, op):
+        z = coo_ts(coo3.astype(np.float64), 2.5, op)
+        want = dense_ts(dense3.astype(np.float64), 2.5, op)
+        np.testing.assert_allclose(z.to_dense(), want, rtol=1e-6)
+
+    def test_pattern_preserved(self, coo3):
+        z = coo_ts(coo3, 3.0, "add")
+        assert z.pattern_equals(coo3)
+
+    def test_hicoo_matches_coo(self, coo3, hicoo3):
+        zc = coo_ts(coo3, 0.5, "mul")
+        zh = hicoo_ts(hicoo3, 0.5, "mul")
+        assert zh.to_coo().allclose(zc, rtol=1e-5)
+
+    def test_hicoo_structure_shared(self, hicoo3):
+        zh = hicoo_ts(hicoo3, 2.0, "mul")
+        np.testing.assert_array_equal(zh.bptr, hicoo3.bptr)
+        np.testing.assert_array_equal(zh.binds, hicoo3.binds)
+
+    def test_div_by_zero_rejected(self, coo3, hicoo3):
+        with pytest.raises(ZeroDivisionError):
+            coo_ts(coo3, 0.0, "div")
+        with pytest.raises(ZeroDivisionError):
+            hicoo_ts(hicoo3, 0.0, "div")
+
+    def test_dispatcher(self, coo3, hicoo3):
+        assert ts(coo3, 2.0).allclose(coo_ts(coo3, 2.0))
+        np.testing.assert_allclose(
+            ts(hicoo3, 2.0).values, hicoo_ts(hicoo3, 2.0).values
+        )
+
+
+class TestTewTsParallel:
+    def test_openmp_matches_sequential(self, pair):
+        x, y = pair
+        be = OpenMPBackend(nthreads=4)
+        try:
+            for op in ("add", "mul"):
+                a = coo_tew(x, y, op)
+                b = coo_tew(x, y, op, backend=be)
+                assert a.allclose(b, rtol=1e-12)
+            np.testing.assert_allclose(
+                coo_ts(x, 1.5, "mul").values,
+                coo_ts(x, 1.5, "mul", backend=be).values,
+            )
+        finally:
+            be.shutdown()

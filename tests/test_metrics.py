@@ -1,0 +1,83 @@
+"""Tests for performance metrics and aggregation."""
+
+import pytest
+
+from repro.metrics import (
+    PerfRecord,
+    average_efficiency,
+    average_gflops,
+    efficiency,
+    geomean,
+    gflops,
+    gflops_range,
+    group_by,
+    mean_over_modes,
+)
+
+
+def rec(tensor="t", kernel="tew", fmt="coo", g=10.0, bound=20.0):
+    return PerfRecord(
+        tensor=tensor,
+        kernel=kernel,
+        fmt=fmt,
+        platform="Bluesky",
+        flops=1e9,
+        seconds=0.1,
+        gflops=g,
+        bound_gflops=bound,
+        efficiency=g / bound,
+    )
+
+
+class TestBasics:
+    def test_gflops(self):
+        assert gflops(2e9, 1.0) == pytest.approx(2.0)
+        assert gflops(1e9, 0.0) == 0.0
+
+    def test_efficiency(self):
+        assert efficiency(10, 20) == pytest.approx(0.5)
+        assert efficiency(10, 0) == 0.0
+
+    def test_record_row(self):
+        r = rec()
+        row = r.as_row()
+        assert row[0] == "t" and row[4] == 10.0
+
+    def test_mean_over_modes(self):
+        assert mean_over_modes([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+        assert mean_over_modes([]) == 0.0
+
+    def test_geomean(self):
+        assert geomean([1.0, 100.0]) == pytest.approx(10.0)
+        assert geomean([]) == 0.0
+        assert geomean([0.0, -1.0]) == 0.0  # non-positive dropped
+
+
+class TestAggregation:
+    @pytest.fixture
+    def records(self):
+        return [
+            rec("a", "tew", "coo", 10.0),
+            rec("b", "tew", "coo", 30.0),
+            rec("a", "tew", "hicoo", 40.0),
+            rec("a", "ttv", "coo", 2.0, bound=10.0),
+        ]
+
+    def test_group_by(self, records):
+        groups = group_by(records, "kernel")
+        assert set(groups) == {("tew",), ("ttv",)}
+        assert len(groups[("tew",)]) == 3
+
+    def test_average_gflops(self, records):
+        avg = average_gflops(records)
+        assert avg[("tew", "coo")] == pytest.approx(20.0)
+        assert avg[("tew", "hicoo")] == pytest.approx(40.0)
+
+    def test_average_efficiency(self, records):
+        avg = average_efficiency(records)
+        assert avg[("ttv", "coo")] == pytest.approx(0.2)
+
+    def test_gflops_range(self, records):
+        lo, hi = gflops_range(records)
+        assert lo == 2.0 and hi == 40.0
+        assert gflops_range([]) == (0.0, 0.0)

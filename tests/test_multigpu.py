@@ -1,0 +1,101 @@
+"""Tests for the multi-GPU scaling simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.gpu import (
+    P100,
+    V100,
+    allreduce_time,
+    gpu_coo_mttkrp,
+    multi_gpu_mttkrp,
+    multi_gpu_ttv,
+    partition_by_nnz,
+    scaling_sweep,
+)
+from repro.kernels import coo_mttkrp, coo_ttv
+from repro.sptensor import COOTensor
+
+
+@pytest.fixture(scope="module")
+def x():
+    return COOTensor.random((800, 700, 60), nnz=30_000, rng=4).astype(np.float64)
+
+
+@pytest.fixture(scope="module")
+def mats(x):
+    rng = np.random.default_rng(0)
+    return [rng.random((s, 8)) for s in x.shape]
+
+
+class TestPartition:
+    def test_shards_cover_nnz(self, x):
+        shards = partition_by_nnz(x, 4)
+        assert sum(s.nnz for s in shards) == x.nnz
+        assert len(shards) == 4
+
+    def test_shards_disjoint(self, x):
+        shards = partition_by_nnz(x, 3)
+        merged = np.concatenate([s.linearize() for s in shards])
+        assert len(np.unique(merged)) == x.nnz
+
+    def test_single_gpu(self, x):
+        shards = partition_by_nnz(x, 1)
+        assert shards[0].nnz == x.nnz
+
+    def test_invalid_count(self, x):
+        with pytest.raises(ShapeError):
+            partition_by_nnz(x, 0)
+
+
+class TestAllreduce:
+    def test_single_gpu_free(self):
+        assert allreduce_time(1e6, 1, 50.0) == 0.0
+
+    def test_ring_formula(self):
+        t = allreduce_time(1e9, 4, 50.0)
+        assert t == pytest.approx(2 * 0.75 * 1e9 / 50e9)
+
+    def test_grows_with_gpus(self):
+        assert allreduce_time(1e9, 8, 50.0) > allreduce_time(1e9, 2, 50.0)
+
+
+class TestMultiGpuKernels:
+    def test_mttkrp_value_exact(self, x, mats):
+        want = coo_mttkrp(x, mats, 0)
+        res = multi_gpu_mttkrp(x, mats, 0, P100, 4)
+        np.testing.assert_allclose(res.value, want, rtol=1e-8)
+
+    def test_mttkrp_speedup_with_gpus(self, x, mats):
+        t1 = multi_gpu_mttkrp(x, mats, 0, P100, 1).seconds
+        t4 = multi_gpu_mttkrp(x, mats, 0, P100, 4).seconds
+        assert t4 < t1
+
+    def test_allreduce_limits_scaling(self, x, mats):
+        """Speedup saturates: the reduction term grows with G."""
+        res8 = multi_gpu_mttkrp(x, mats, 0, P100, 8)
+        assert res8.allreduce_seconds > 0
+        assert res8.seconds > res8.max_shard  # reduction visible
+
+    def test_ttv_value_matches_single(self, x):
+        v = np.random.default_rng(1).random(x.shape[2])
+        want = coo_ttv(x, v, 2)
+        res = multi_gpu_ttv(x, v, 2, V100, 4)
+        np.testing.assert_allclose(
+            res.value.to_dense(), want.to_dense(), rtol=1e-8
+        )
+        assert res.allreduce_seconds == 0.0
+
+    def test_scaling_sweep_rows(self, x, mats):
+        rows = scaling_sweep(
+            lambda g: multi_gpu_mttkrp(x, mats, 0, V100, g), [1, 2, 4]
+        )
+        assert [r["ngpus"] for r in rows] == [1, 2, 4]
+        assert rows[0]["speedup"] == pytest.approx(1.0)
+        assert all(r["seconds"] > 0 for r in rows)
+
+    def test_matches_single_gpu_kernel_at_g1(self, x, mats):
+        res = multi_gpu_mttkrp(x, mats, 0, P100, 1)
+        single = gpu_coo_mttkrp(x.copy().sort(), mats, 0, P100)
+        assert res.seconds == pytest.approx(single.seconds, rel=0.05)

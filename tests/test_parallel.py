@@ -1,0 +1,220 @@
+"""Tests for the CPU parallel substrate."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    OpenMPBackend,
+    SequentialBackend,
+    atomic_add_rows,
+    balanced_partition,
+    chunk_ranges,
+    contention_stats,
+    fixed_chunks,
+    get_backend,
+    guided_chunks,
+    load_imbalance,
+    makespan,
+    register_backend,
+    sorted_reduce_rows,
+)
+from repro.types import Schedule
+
+
+def collect_ranges(backend, total, **kw):
+    ranges = []
+    backend.parallel_for(total, lambda lo, hi: ranges.append((lo, hi)), **kw)
+    return sorted(ranges)
+
+
+def assert_covers(ranges, total):
+    pos = 0
+    for lo, hi in ranges:
+        assert lo == pos, f"gap/overlap at {lo}, expected {pos}"
+        assert hi > lo
+        pos = hi
+    assert pos == total
+
+
+class TestPartitioners:
+    def test_chunk_ranges_cover(self):
+        assert_covers(chunk_ranges(100, 7), 100)
+
+    def test_chunk_ranges_degenerate(self):
+        assert chunk_ranges(0, 4) == []
+        assert chunk_ranges(3, 10) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_fixed_chunks_cover(self):
+        assert_covers(fixed_chunks(103, 10), 103)
+        assert fixed_chunks(103, 10)[-1] == (100, 103)
+
+    def test_guided_chunks_decrease(self):
+        ranges = guided_chunks(1000, 4)
+        assert_covers(ranges, 1000)
+        sizes = [hi - lo for lo, hi in ranges]
+        assert sizes[0] >= sizes[-1]
+
+    def test_balanced_partition_equalizes_weight(self):
+        # one huge item among many small: the huge one should sit alone-ish
+        w = np.ones(100)
+        w[50] = 100.0
+        parts = balanced_partition(w, 4)
+        assert_covers(parts, 100)
+        sums = [w[lo:hi].sum() for lo, hi in parts]
+        assert max(sums) < w.sum()  # did split at all
+        # the heavy chunk cannot be subdivided below the single max item
+        assert max(sums) <= 100 + 50
+
+    def test_balanced_partition_zero_weights(self):
+        parts = balanced_partition(np.zeros(10), 3)
+        assert_covers(parts, 10)
+
+
+class TestLoadMetrics:
+    def test_imbalance_balanced(self):
+        assert load_imbalance(np.full(8, 5.0)) == pytest.approx(1.0)
+
+    def test_imbalance_skewed(self):
+        assert load_imbalance(np.array([1.0, 1.0, 6.0])) == pytest.approx(6.0 / (8 / 3))
+
+    def test_imbalance_empty(self):
+        assert load_imbalance(np.array([])) == 1.0
+
+    def test_makespan_single_worker(self):
+        assert makespan(np.array([1.0, 2.0, 3.0]), 1) == pytest.approx(6.0)
+
+    def test_makespan_lower_bounds(self):
+        costs = np.array([5.0, 1.0, 1.0, 1.0])
+        ms = makespan(costs, 2)
+        assert ms >= max(5.0, costs.sum() / 2)
+        assert ms <= costs.sum()
+
+    def test_makespan_large_uses_bound(self):
+        costs = np.ones(100000)
+        assert makespan(costs, 10) == pytest.approx(10000.0)
+
+    def test_makespan_empty(self):
+        assert makespan(np.array([]), 4) == 0.0
+
+
+class TestSequentialBackend:
+    def test_covers_iteration_space(self):
+        be = SequentialBackend(chunks_hint=5)
+        assert_covers(collect_ranges(be, 100), 100)
+
+    def test_schedules_all_cover(self):
+        be = SequentialBackend(chunks_hint=3)
+        for sched in Schedule:
+            assert_covers(collect_ranges(be, 57, schedule=sched), 57)
+
+    def test_explicit_chunk(self):
+        be = SequentialBackend()
+        ranges = collect_ranges(be, 10, chunk=3)
+        assert ranges == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+
+class TestOpenMPBackend:
+    @pytest.fixture
+    def be(self):
+        backend = OpenMPBackend(nthreads=4)
+        yield backend
+        backend.shutdown()
+
+    def test_static_covers(self, be):
+        assert_covers(collect_ranges(be, 1000), 1000)
+
+    def test_dynamic_covers(self, be):
+        assert_covers(
+            collect_ranges(be, 1000, schedule="dynamic", chunk=64), 1000
+        )
+
+    def test_guided_covers(self, be):
+        assert_covers(collect_ranges(be, 1000, schedule="guided"), 1000)
+
+    def test_zero_total_noop(self, be):
+        assert collect_ranges(be, 0) == []
+
+    def test_parallel_sum_matches_serial(self, be):
+        data = np.random.default_rng(0).random(10000)
+        out = np.zeros(len(data))
+
+        def body(lo, hi):
+            out[lo:hi] = data[lo:hi] * 2
+
+        be.parallel_for(len(data), body, schedule="dynamic", chunk=512)
+        np.testing.assert_allclose(out, data * 2)
+
+    def test_exception_propagates(self, be):
+        def body(lo, hi):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            be.parallel_for(100, body)
+
+    def test_map_ranges(self, be):
+        seen = []
+        be.map_ranges([(0, 5), (5, 9)], lambda lo, hi: seen.append((lo, hi)))
+        assert sorted(seen) == [(0, 5), (5, 9)]
+
+    def test_env_thread_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_THREADS", "3")
+        assert OpenMPBackend().nthreads == 3
+
+
+class TestBackendRegistry:
+    def test_default_is_sequential(self):
+        assert isinstance(get_backend(None), SequentialBackend)
+
+    def test_lookup_by_name(self):
+        assert isinstance(get_backend("openmp"), OpenMPBackend)
+        assert get_backend("omp") is get_backend("openmp")
+
+    def test_instance_passthrough(self):
+        be = SequentialBackend()
+        assert get_backend(be) is be
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError):
+            get_backend("tpu")
+
+    def test_register_custom(self):
+        be = SequentialBackend(chunks_hint=2)
+        register_backend("custom-test", be)
+        assert get_backend("custom-test") is be
+
+
+class TestAtomics:
+    def test_atomic_add_handles_duplicates(self):
+        out = np.zeros((3, 2))
+        rows = np.array([0, 1, 0, 0])
+        contrib = np.ones((4, 2))
+        atomic_add_rows(out, rows, contrib)
+        np.testing.assert_allclose(out[0], [3, 3])
+        np.testing.assert_allclose(out[1], [1, 1])
+
+    def test_sorted_reduce_matches_atomic(self):
+        rng = np.random.default_rng(4)
+        rows = rng.integers(0, 50, size=1000)
+        contrib = rng.random((1000, 4))
+        a = np.zeros((50, 4))
+        b = np.zeros((50, 4))
+        atomic_add_rows(a, rows, contrib)
+        sorted_reduce_rows(b, rows, contrib)
+        np.testing.assert_allclose(a, b, rtol=1e-12)
+
+    def test_sorted_reduce_empty(self):
+        out = np.zeros((3, 2))
+        sorted_reduce_rows(out, np.array([], dtype=int), np.zeros((0, 2)))
+        assert out.sum() == 0
+
+    def test_contention_stats(self):
+        stats = contention_stats(np.array([0, 0, 0, 1, 2]))
+        assert stats.n_updates == 5
+        assert stats.n_targets == 3
+        assert stats.max_per_target == 3
+        assert stats.conflict_factor == pytest.approx(5 / 3)
+
+    def test_contention_empty(self):
+        stats = contention_stats(np.array([], dtype=int))
+        assert stats.n_updates == 0
+        assert stats.conflict_factor == 0.0

@@ -1,0 +1,117 @@
+"""Tests for the Table 2/3 registries and surrogate generation."""
+
+import pytest
+
+from repro.datasets import (
+    REAL_TENSORS,
+    get_real,
+    make_surrogate,
+    surrogate_nnz,
+    surrogate_shape,
+    surrogate_suite,
+)
+from repro.generate import SYNTHETIC_TENSORS, generate_suite, get_synthetic
+from repro.errors import GenerationError
+
+
+class TestTable2Registry:
+    def test_fifteen_rows(self):
+        assert len(REAL_TENSORS) == 15
+
+    def test_paper_metadata_sample(self):
+        darpa = get_real("darpa")
+        assert darpa.key == "r4"
+        assert darpa.shape == (22_000, 22_000, 24_000_000)
+        assert darpa.nnz == 28_000_000
+        nell2 = get_real("r2")
+        assert nell2.name == "nell2"
+
+    def test_orders(self):
+        assert all(t.order == 3 for t in REAL_TENSORS[:9])
+        assert all(t.order == 4 for t in REAL_TENSORS[9:])
+
+    def test_density_matches_paper_order_of_magnitude(self):
+        # Table 2 quotes vast at 6.9e-3 and deli4d at 4.3e-15.
+        assert 1e-3 < get_real("vast").density < 1e-2
+        assert 1e-15 < get_real("deli4d").density < 1e-14
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError):
+            get_real("unknown")
+
+
+class TestTable3Registry:
+    def test_fifteen_rows(self):
+        assert len(SYNTHETIC_TENSORS) == 15
+
+    def test_generators_by_family(self):
+        assert get_synthetic("regS").generator == "kron"
+        assert get_synthetic("irrM").generator == "pl"
+        assert get_synthetic("irr2L4d").generator == "pl"
+
+    def test_paper_shapes(self):
+        assert get_synthetic("s1").paper_shape == (65_000,) * 3
+        assert get_synthetic("irr2S4d").paper_shape == (
+            1_000_000, 1_000_000, 122, 436,
+        )
+
+    def test_scaling_preserves_density_regime(self):
+        cfg = get_synthetic("regM")
+        paper_d = cfg.paper_density
+        shape = cfg.scaled_shape(1000)
+        cap = 1.0
+        for s in shape:
+            cap *= s
+        scaled_d = cfg.scaled_nnz(1000) / cap
+        assert scaled_d / paper_d < 50  # same regime (floors distort a bit)
+        assert scaled_d / paper_d > 1 / 50
+
+    def test_scale_below_one_rejected(self):
+        with pytest.raises(GenerationError):
+            get_synthetic("regS").scaled_shape(0.5)
+
+    def test_generate_matches_config(self):
+        cfg = get_synthetic("irrS")
+        t = cfg.generate(scale=2000, seed=1)
+        assert t.nmodes == cfg.order
+        assert t.shape == cfg.scaled_shape(2000)
+
+    def test_generate_suite_subset(self):
+        suite = generate_suite(["regS", "irrS"], scale=5000, seed=0)
+        assert set(suite) == {"regS", "irrS"}
+        assert all(t.nnz > 0 for t in suite.values())
+
+
+class TestSurrogates:
+    def test_shape_ratio_preserved(self):
+        info = get_real("darpa")
+        shape = surrogate_shape(info, 1000)
+        # mode 2 is ~1000x longer than modes 0/1 in the paper; preserved
+        assert shape[2] / shape[0] > 100
+
+    def test_order_and_positivity(self):
+        for key in ("vast", "crime4d"):
+            info = get_real(key)
+            shape = surrogate_shape(info, 1000)
+            assert len(shape) == info.order
+            assert all(s >= 2 for s in shape)
+
+    def test_nnz_scaling(self):
+        info = get_real("fb-m")
+        assert surrogate_nnz(info, 1000) == 100_000
+
+    def test_make_surrogate(self):
+        t = make_surrogate("nips4d", scale=1000, seed=3)
+        info = get_real("nips4d")
+        assert t.nmodes == info.order
+        assert t.nnz > 0
+        assert t.shape == surrogate_shape(info, 1000)
+
+    def test_surrogate_deterministic(self):
+        a = make_surrogate("vast", scale=2000, seed=7)
+        b = make_surrogate("vast", scale=2000, seed=7)
+        assert a.allclose(b)
+
+    def test_suite_subset(self):
+        suite = surrogate_suite(["vast", "uber4d"], scale=2000)
+        assert set(suite) == {"vast", "uber4d"}

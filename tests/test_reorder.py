@@ -1,0 +1,103 @@
+"""Tests for tensor reordering (locality optimization)."""
+
+import numpy as np
+import pytest
+
+from repro.generate import powerlaw_tensor
+from repro.sptensor import (
+    COOTensor,
+    apply_permutations,
+    blocking_quality,
+    degree_reorder,
+    lexi_reorder,
+    random_reorder,
+)
+
+
+@pytest.fixture(scope="module")
+def pl():
+    return powerlaw_tensor((2000, 2000, 12), 12_000, dense_modes=(2,), seed=1)
+
+
+class TestApplyPermutations:
+    def test_identity(self, coo3):
+        perms = {m: np.arange(coo3.shape[m]) for m in range(3)}
+        out = apply_permutations(coo3, perms)
+        assert out.allclose(coo3)
+
+    def test_is_bijective_relabeling(self, coo3):
+        rng = np.random.default_rng(0)
+        perms = {0: rng.permutation(coo3.shape[0])}
+        out = apply_permutations(coo3, perms)
+        assert out.nnz == coo3.nnz
+        np.testing.assert_array_equal(np.sort(out.values), np.sort(coo3.values))
+        # undo
+        inv = np.empty_like(perms[0])
+        inv[perms[0]] = np.arange(len(perms[0]))
+        back = apply_permutations(out, {0: inv})
+        assert back.allclose(coo3)
+
+    def test_wrong_length_rejected(self, coo3):
+        with pytest.raises(ValueError):
+            apply_permutations(coo3, {0: np.arange(coo3.shape[0] + 1)})
+
+
+class TestStrategies:
+    def test_degree_reorder_hubs_first(self, pl):
+        out, perms = degree_reorder(pl, modes=[0])
+        counts = np.bincount(out.indices[:, 0].astype(np.int64),
+                             minlength=out.shape[0])
+        # after reordering, slice sizes are non-increasing
+        assert (np.diff(counts) <= 0).all()
+
+    def test_degree_reorder_improves_blocking(self, pl):
+        base = blocking_quality(pl, 128)
+        out, _ = degree_reorder(pl)
+        after = blocking_quality(out, 128)
+        assert after["nblocks"] < base["nblocks"]
+        assert after["alpha"] > base["alpha"]
+
+    def test_lexi_reorder_not_worse(self, pl):
+        base = blocking_quality(pl, 128)
+        out, _ = lexi_reorder(pl, sweeps=6)
+        after = blocking_quality(out, 128)
+        assert after["nblocks"] <= base["nblocks"]
+
+    def test_random_reorder_deterministic(self, coo3):
+        a, _ = random_reorder(coo3, seed=5)
+        b, _ = random_reorder(coo3, seed=5)
+        assert a.allclose(b)
+
+    def test_reorder_preserves_tensor_up_to_relabeling(self, pl):
+        """Kernels on a reordered tensor give permuted results: Mttkrp
+        rows permute exactly with the mode permutation."""
+        from repro.kernels import coo_mttkrp
+
+        out, perms = degree_reorder(pl)
+        rng = np.random.default_rng(0)
+        mats = [rng.random((s, 3)) for s in pl.shape]
+        # permute the factor matrices consistently
+        mats_perm = [m.copy() for m in mats]
+        for mode, perm in perms.items():
+            mats_perm[mode][perm] = mats[mode]
+        want = coo_mttkrp(pl.astype(np.float64), mats, 0)
+        got = coo_mttkrp(out.astype(np.float64), mats_perm, 0)
+        np.testing.assert_allclose(got[perms[0]], want, rtol=1e-8)
+
+    def test_lexi_returns_total_permutations(self, coo3):
+        out, perms = lexi_reorder(coo3, sweeps=4)
+        rebuilt = apply_permutations(coo3, perms)
+        assert rebuilt.allclose(out)
+
+
+class TestBlockingQuality:
+    def test_fields(self, coo3):
+        q = blocking_quality(coo3, 8)
+        assert set(q) == {"nblocks", "alpha", "hicoo_bytes", "compression"}
+        assert q["nblocks"] > 0
+        assert q["alpha"] * q["nblocks"] == pytest.approx(coo3.nnz)
+
+    def test_empty(self):
+        q = blocking_quality(COOTensor.empty((4, 4)), 4)
+        assert q["nblocks"] == 0
+        assert q["alpha"] == 0.0

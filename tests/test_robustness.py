@@ -1,0 +1,170 @@
+"""Robustness / failure-injection tests.
+
+Benchmark suites meet hostile inputs: duplicate coordinates, NaN/inf
+values, dimensions beyond 32-bit indices, adversarial emptiness.  These
+tests pin down the suite's behavior in each case — either correct results
+(duplicates are legal COO: they sum) or loud, early failures (corrupted
+structure must not produce silent garbage).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.kernels import (
+    coo_mttkrp,
+    coo_tew,
+    coo_ts,
+    coo_ttm,
+    coo_ttv,
+    dense_mttkrp,
+    dense_ttv,
+)
+from repro.sptensor import COOTensor, HiCOOTensor
+from repro.types import index_dtype_for
+
+
+@pytest.fixture
+def dup_tensor():
+    """Legal-but-tricky COO: repeated coordinates (they sum)."""
+    inds = np.array(
+        [[0, 0, 0], [0, 0, 0], [1, 2, 3], [1, 2, 3], [1, 2, 3], [4, 4, 4]]
+    )
+    vals = np.array([1.0, 2.0, 10.0, -4.0, 1.0, 5.0])
+    return COOTensor((5, 5, 5), inds, vals)
+
+
+class TestDuplicateCoordinates:
+    def test_ttv_sums_duplicates(self, dup_tensor):
+        v = np.arange(1.0, 6.0)
+        got = coo_ttv(dup_tensor, v, 2)
+        want = dense_ttv(dup_tensor.to_dense(), v, 2)
+        np.testing.assert_allclose(got.to_dense(), want, rtol=1e-9)
+
+    def test_mttkrp_sums_duplicates(self, dup_tensor):
+        mats = [np.arange(10.0).reshape(5, 2) + m for m in range(3)]
+        got = coo_mttkrp(dup_tensor, mats, 0)
+        want = dense_mttkrp(dup_tensor.to_dense(), mats, 0)
+        np.testing.assert_allclose(got, want, rtol=1e-9)
+
+    def test_hicoo_roundtrip_keeps_duplicates(self, dup_tensor):
+        h = HiCOOTensor.from_coo(dup_tensor, 4)
+        assert h.nnz == dup_tensor.nnz  # stored entries preserved
+        np.testing.assert_allclose(
+            h.to_coo().to_dense(), dup_tensor.to_dense(), rtol=1e-9
+        )
+
+    def test_coalesce_removes_them(self, dup_tensor):
+        c = dup_tensor.coalesce()
+        assert c.nnz == 3
+        np.testing.assert_allclose(c.to_dense(), dup_tensor.to_dense())
+
+
+class TestNonFiniteValues:
+    def test_nan_propagates_not_corrupts(self):
+        t = COOTensor(
+            (3, 3), np.array([[0, 0], [1, 1]]), np.array([np.nan, 2.0])
+        )
+        out = coo_ts(t, 2.0, "mul")
+        assert np.isnan(out.values[out.to_dense()[0, 0] != out.to_dense()[0, 0]].sum()) or np.isnan(
+            out.to_dense()[0, 0]
+        )
+        assert out.to_dense()[1, 1] == 4.0  # untouched entry correct
+
+    def test_inf_in_tew(self):
+        a = COOTensor((2, 2), np.array([[0, 0]]), np.array([np.inf]))
+        b = COOTensor((2, 2), np.array([[0, 0]]), np.array([1.0]))
+        out = coo_tew(a, b, "add")
+        assert np.isinf(out.to_dense()[0, 0])
+
+    def test_allclose_with_nan_is_false(self):
+        a = COOTensor((2, 2), np.array([[0, 0]]), np.array([np.nan]))
+        b = COOTensor((2, 2), np.array([[0, 0]]), np.array([1.0]))
+        assert not a.allclose(b)
+
+
+class TestHugeDimensions:
+    def test_index_dtype_widens(self):
+        shape = (2**33, 4, 4)
+        assert index_dtype_for(shape) == np.dtype(np.int64)
+        t = COOTensor(
+            shape,
+            np.array([[2**33 - 2, 1, 1], [5, 0, 0]], dtype=np.int64),
+            np.array([1.0, 2.0]),
+        )
+        assert t.indices.dtype == np.int64
+        assert int(t.indices[:, 0].max()) == 2**33 - 2
+
+    def test_linearize_does_not_overflow(self):
+        shape = (2**21, 2**21, 2**21)  # product exceeds 2^63? (2^63) exactly
+        t = COOTensor(
+            (2**20, 2**20, 2**20),
+            np.array([[2**20 - 1, 2**20 - 1, 2**20 - 1]], dtype=np.int64),
+            np.array([1.0]),
+        )
+        lin = t.linearize()
+        assert lin[0] == (2**20 - 1) * (2**40 + 2**20 + 1)
+
+    def test_kernels_on_wide_tensor(self):
+        t = COOTensor(
+            (2**34, 8),
+            np.array([[2**34 - 1, 3], [17, 5]], dtype=np.int64),
+            np.array([2.0, 3.0]),
+        )
+        v = np.arange(8.0)
+        out = coo_ttv(t, v, 1)
+        assert out.nnz == 2
+        vals = dict(zip(out.indices[:, 0].tolist(), out.values.tolist()))
+        assert vals[2**34 - 1] == pytest.approx(6.0)
+        assert vals[17] == pytest.approx(15.0)
+
+
+class TestCorruptedStructures:
+    def test_hicoo_rejects_truncated_values(self, coo3):
+        h = HiCOOTensor.from_coo(coo3, 8)
+        with pytest.raises(Exception):
+            HiCOOTensor(
+                h.shape, 8, h.bptr, h.binds, h.einds, h.values[:-1]
+            )
+
+    def test_hicoo_rejects_decreasing_bptr(self, coo3):
+        h = HiCOOTensor.from_coo(coo3, 8)
+        bad = h.bptr.copy()
+        if len(bad) > 2:
+            bad[1], bad[2] = bad[2] + 1, bad[1]
+            with pytest.raises(Exception):
+                HiCOOTensor(h.shape, 8, bad, h.binds, h.einds, h.values)
+
+    def test_kernel_rejects_wrong_operand_silently_never(self, coo3):
+        with pytest.raises(ShapeError):
+            coo_ttm(coo3, np.ones((coo3.shape[0], 4, 2)), 0)  # 3-D operand
+
+    def test_empty_everything(self):
+        e = COOTensor.empty((4, 4, 4))
+        assert coo_ttv(e, np.ones(4), 0).nnz == 0
+        assert coo_mttkrp(e, [np.ones((4, 2))] * 3, 1).sum() == 0
+        assert coo_tew(e, e, "add").nnz == 0
+        assert coo_ts(e, 2.0, "mul").nnz == 0
+
+    def test_single_entry_everything(self):
+        t = COOTensor((4, 4, 4), np.array([[1, 2, 3]]), np.array([5.0]))
+        assert coo_ttv(t, np.ones(4), 2).to_dense()[1, 2] == 5.0
+        h = HiCOOTensor.from_coo(t, 4)
+        assert h.nblocks == 1
+        out = coo_mttkrp(t, [np.ones((4, 2))] * 3, 0)
+        assert out[1, 0] == pytest.approx(5.0)
+
+
+class TestValueDtypes:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_kernels_preserve_dtype_family(self, dtype):
+        t = COOTensor.random((20, 20, 20), nnz=100, rng=0, dtype=dtype)
+        v = np.ones(20, dtype=dtype)
+        out = coo_ttv(t, v, 0)
+        assert out.values.dtype == dtype
+
+    def test_mixed_precision_promotes(self):
+        t = COOTensor.random((10, 10, 10), nnz=50, rng=1, dtype=np.float32)
+        v = np.ones(10, dtype=np.float64)
+        out = coo_ttv(t, v, 0)
+        assert out.values.dtype == np.float64

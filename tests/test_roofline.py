@@ -1,0 +1,148 @@
+"""Tests for the roofline subsystem (platforms, ERT, model, OI)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import TABLE1_ASYMPTOTIC_OI
+from repro.roofline import (
+    BLUESKY,
+    DGX_1P,
+    DGX_1V,
+    PLATFORMS,
+    WINGTIP,
+    RooflineModel,
+    accurate_oi,
+    cost_for,
+    extract_features,
+    get_platform,
+    measure_host,
+    modeled_ceilings,
+)
+from repro.sptensor import COOTensor, HiCOOTensor
+from repro.types import Format, Kernel
+
+
+class TestPlatforms:
+    def test_table4_values(self):
+        assert BLUESKY.cores == 24 and BLUESKY.sockets == 2
+        assert WINGTIP.cores == 56 and WINGTIP.sockets == 4
+        assert DGX_1P.sm_count == 56 and DGX_1P.mem_bw_gbs == 732.0
+        assert DGX_1V.sm_count == 80 and DGX_1V.peak_sp_gflops == 14_900.0
+
+    def test_gpu_advantages_match_paper(self):
+        """Paper: GPUs lead CPUs by ~4-12x peak and ~3-7x bandwidth."""
+        for gpu in (DGX_1P, DGX_1V):
+            for cpu in (BLUESKY, WINGTIP):
+                assert 4 <= gpu.peak_sp_gflops / cpu.peak_sp_gflops <= 15
+                assert 2.5 <= gpu.mem_bw_gbs / cpu.mem_bw_gbs <= 7
+
+    def test_ert_ceilings_below_theoretical(self):
+        for p in PLATFORMS:
+            assert p.ert_dram_bw_gbs < p.mem_bw_gbs
+            assert p.ert_llc_bw_gbs > p.ert_dram_bw_gbs
+
+    def test_lookup(self):
+        assert get_platform("bluesky") is BLUESKY
+        assert get_platform("DGX-1V") is DGX_1V
+        with pytest.raises(KeyError):
+            get_platform("summit")
+
+    def test_with_overrides(self):
+        p = BLUESKY.with_overrides(llc_bytes=1024)
+        assert p.llc_bytes == 1024
+        assert p.name == BLUESKY.name
+        assert BLUESKY.llc_bytes != 1024  # original untouched
+
+
+class TestRooflineModel:
+    def test_attainable_memory_regime(self):
+        model = RooflineModel(BLUESKY)
+        oi = 0.1
+        assert model.attainable(oi) == pytest.approx(oi * BLUESKY.ert_dram_bw_gbs)
+
+    def test_attainable_compute_regime(self):
+        model = RooflineModel(BLUESKY)
+        assert model.attainable(1000.0) == BLUESKY.peak_sp_gflops
+
+    def test_llc_ceiling_higher(self):
+        model = RooflineModel(DGX_1P)
+        assert model.attainable(0.2, "llc") > model.attainable(0.2, "dram")
+
+    def test_all_kernels_memory_bound_everywhere(self):
+        """The paper's Figure 3 conclusion."""
+        for p in PLATFORMS:
+            assert RooflineModel(p).memory_bound_kernels()
+
+    def test_marks_match_table1(self):
+        model = RooflineModel(WINGTIP)
+        marks = {m.kernel: m.oi for m in model.kernel_marks()}
+        assert marks == TABLE1_ASYMPTOTIC_OI
+
+    def test_series_monotone(self):
+        model = RooflineModel(DGX_1V)
+        series = model.series(points=20)
+        dram = [pt["ert_dram"] for pt in series]
+        assert dram == sorted(dram)
+        assert all(pt["ert_llc"] >= pt["ert_dram"] for pt in series)
+
+    def test_memory_bound_time(self):
+        model = RooflineModel(BLUESKY)
+        t = COOTensor.random((100, 100, 100), nnz=5000, rng=0)
+        feats = extract_features(t, "t", 16)
+        sec = model.memory_bound_time(feats, "tew", "coo")
+        assert sec == pytest.approx(12 * 5000 / (BLUESKY.ert_dram_bw_gbs * 1e9))
+
+
+class TestFeaturesAndOI:
+    @pytest.fixture(scope="class")
+    def feats(self):
+        t = COOTensor.random((300, 200, 40), nnz=8000, rng=1)
+        return extract_features(t, "ft", 32)
+
+    def test_feature_consistency(self, feats):
+        assert feats.nnz == 8000
+        assert len(feats.mf_per_mode) == 3
+        assert feats.nb > 0
+        assert feats.max_fiber_imbalance >= 1.0
+        assert all(c >= 1.0 for c in feats.contention_per_mode)
+
+    def test_reuse_prebuilt_hicoo(self):
+        t = COOTensor.random((100, 100, 100), nnz=2000, rng=2)
+        h = HiCOOTensor.from_coo(t, 16)
+        feats = extract_features(t, "x", 16, hicoo=h)
+        assert feats.nb == h.nblocks
+
+    def test_accurate_oi_close_to_asymptotic(self, feats):
+        """For MF << M the accurate OI approaches the Table 1 value."""
+        oi = accurate_oi(feats, Kernel.TS, Format.COO)
+        assert oi == pytest.approx(1 / 8)
+
+    def test_ttv_oi_below_asymptotic(self, feats):
+        """The +12MF output term always pulls Ttv OI below 1/6."""
+        assert accurate_oi(feats, Kernel.TTV, Format.COO) < 1 / 6
+
+    def test_hicoo_mttkrp_oi_at_least_coo(self, feats):
+        coo = accurate_oi(feats, Kernel.MTTKRP, Format.COO)
+        hic = accurate_oi(feats, Kernel.MTTKRP, Format.HICOO)
+        assert hic >= coo * 0.9
+
+    def test_cost_for_flops_positive(self, feats):
+        for kernel in Kernel:
+            c = cost_for(feats, kernel, Format.COO)
+            assert c.flops > 0 and c.bytes > 0
+
+
+class TestErt:
+    def test_host_measurement_sane(self):
+        host = measure_host(dram_elems=1_000_000, llc_elems=50_000)
+        assert host.peak_sp_gflops > 0.1
+        assert host.ert_dram_bw_gbs > 0.1
+        assert host.llc_bw_ratio >= 1.0
+        assert host.dram_derate == 1.0
+
+    def test_modeled_ceilings(self):
+        c = modeled_ceilings(DGX_1P)
+        assert c.platform == "DGX-1P"
+        assert c.dram_bw_gbs == pytest.approx(DGX_1P.ert_dram_bw_gbs)
+        assert c.llc_bw_gbs > c.dram_bw_gbs
+        assert c.theoretical_bw_gbs == 732.0

@@ -1,0 +1,98 @@
+"""Tests for streaming tensor accumulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.generate import powerlaw_stream
+from repro.sptensor import COOTensor
+from repro.stream import SlidingWindowTensor, StreamingTensorBuilder
+
+
+class TestStreamingBuilder:
+    def test_duplicates_sum(self):
+        b = StreamingTensorBuilder((4, 4))
+        b.push(np.array([[0, 0], [0, 0], [1, 1]]), np.array([1.0, 2.0, 5.0]))
+        t = b.finish()
+        d = t.to_dense()
+        assert d[0, 0] == 3.0 and d[1, 1] == 5.0
+        assert t.nnz == 2
+
+    def test_matches_one_shot_coalesce(self):
+        rng = np.random.default_rng(0)
+        shape = (50, 40, 8)
+        coords = rng.integers(0, [50, 40, 8], size=(5000, 3))
+        values = rng.random(5000)
+        b = StreamingTensorBuilder(shape, merge_threshold=512)
+        for lo in range(0, 5000, 700):
+            b.push(coords[lo:lo + 700], values[lo:lo + 700])
+        got = b.finish()
+        want = COOTensor(shape, coords, values).coalesce()
+        assert got.allclose(want, rtol=1e-5, atol=1e-6)
+
+    def test_bounded_staging_triggers_merges(self):
+        b = StreamingTensorBuilder((100, 100), merge_threshold=100)
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            b.push(rng.integers(0, 100, size=(60, 2)), rng.random(60))
+        assert b.merges >= 5
+        assert b.events_seen == 600
+
+    def test_consume_powerlaw_stream(self):
+        shape = (300, 300, 6)
+        b = StreamingTensorBuilder(shape, merge_threshold=1000)
+        b.consume(powerlaw_stream(4000, shape, dense_modes=(2,), seed=2, batch=512))
+        t = b.finish()
+        assert b.events_seen == 4000
+        assert 0 < t.nnz <= 4000  # hot keys revisited
+        assert not t.has_duplicates()
+
+    def test_empty_stream(self):
+        b = StreamingTensorBuilder((5, 5))
+        assert b.finish().nnz == 0
+
+    def test_bad_batch_shapes(self):
+        b = StreamingTensorBuilder((5, 5))
+        with pytest.raises(ShapeError):
+            b.push(np.zeros((3, 3), dtype=int), np.zeros(3))
+        with pytest.raises(ShapeError):
+            b.push(np.zeros((3, 2), dtype=int), np.zeros(2))
+
+    def test_current_nnz_progresses(self):
+        b = StreamingTensorBuilder((10, 10), merge_threshold=10**6)
+        b.push(np.array([[1, 1]]), np.array([1.0]))
+        assert b.current_nnz == 1
+
+
+class TestSlidingWindow:
+    def test_state_equals_window_sum(self):
+        rng = np.random.default_rng(3)
+        shape = (20, 20)
+        w = SlidingWindowTensor(shape, window=3)
+        batches = [
+            (rng.integers(0, 20, size=(30, 2)), rng.random(30))
+            for _ in range(6)
+        ]
+        for coords, values in batches:
+            state = w.push(coords, values)
+        # state must equal sum of the last 3 batches
+        want = COOTensor.empty(shape).astype(np.float64)
+        from repro.kernels import coo_tew
+
+        for coords, values in batches[-3:]:
+            want = coo_tew(want, COOTensor(shape, coords, values).coalesce(), "add")
+        np.testing.assert_allclose(
+            state.to_dense(), want.to_dense(), rtol=1e-5, atol=1e-6
+        )
+        assert w.nbatches == 3
+
+    def test_eviction_removes_entries(self):
+        w = SlidingWindowTensor((5, 5), window=1)
+        w.push(np.array([[0, 0]]), np.array([1.0]))
+        state = w.push(np.array([[4, 4]]), np.array([2.0]))
+        d = state.to_dense()
+        assert d[0, 0] == 0.0 and d[4, 4] == 2.0
+
+    def test_window_validation(self):
+        with pytest.raises(ShapeError):
+            SlidingWindowTensor((5, 5), window=0)

@@ -1,0 +1,64 @@
+"""Tests for the parameter-sweep harness."""
+
+import pytest
+
+from repro.bench.sweeps import (
+    blocksize_sweep,
+    density_sweep,
+    nnz_sweep,
+    rank_sweep,
+)
+from repro.sptensor import COOTensor
+
+
+class TestNnzSweep:
+    def test_structure_and_crossover(self):
+        rep = nnz_sweep(
+            nnz_values=(500, 4_000, 64_000),
+            shape=(1 << 14, 1 << 14, 32),
+            cache_scale=1000,
+        )
+        assert len(rep.rows) == 6  # 3 sizes x 2 formats
+        # Observation 2's mechanism: the smallest size is cache resident,
+        # the largest is not.
+        coo_rows = [r for r in rep.rows if r[1] == "coo"]
+        assert coo_rows[0][5] is True or coo_rows[0][5] == "True"
+        assert coo_rows[-1][5] in (False, "False")
+        # efficiency drops across the crossover
+        assert coo_rows[0][4] > coo_rows[-1][4]
+
+
+class TestRankSweep:
+    def test_gflops_grow_with_rank(self):
+        rep = rank_sweep(ranks=(2, 16, 64), nnz=20_000, cache_scale=1000)
+        coo = [r for r in rep.rows if r[1] == "coo"]
+        gflops = [r[2] for r in coo]
+        assert gflops[0] < gflops[-1]  # higher OI -> higher attainable
+        bounds = [r[3] for r in coo]
+        assert bounds == sorted(bounds)
+
+
+class TestDensitySweep:
+    def test_occupancy_erodes_with_sparsity(self):
+        rep = density_sweep(
+            densities=(1e-6, 1e-4), nnz=20_000, cache_scale=1000
+        )
+        hicoo = [r for r in rep.rows if r[2] == "hicoo"]
+        # sparser tensor -> fewer nnz per block
+        assert hicoo[0][3] <= hicoo[1][3]
+
+
+class TestBlocksizeSweep:
+    def test_blocks_shrink_with_bigger_b(self):
+        t = COOTensor.random((4096, 4096, 64), nnz=20_000, rng=5)
+        rep = blocksize_sweep(block_sizes=(8, 64, 256), tensor=t, cache_scale=1000)
+        nblocks = [r[1] for r in rep.rows]
+        assert nblocks == sorted(nblocks, reverse=True)
+        occupancy = [r[2] for r in rep.rows]
+        assert occupancy == sorted(occupancy)
+
+    def test_report_renders(self):
+        t = COOTensor.random((1024, 1024, 16), nnz=5_000, rng=6)
+        rep = blocksize_sweep(block_sizes=(32, 128), tensor=t)
+        text = rep.render()
+        assert "HiCOO" in text and "128" in text

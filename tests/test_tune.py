@@ -1,0 +1,98 @@
+"""Tests for input-adaptive format/parameter selection."""
+
+import numpy as np
+import pytest
+
+from repro.generate import kronecker_tensor, powerlaw_tensor
+from repro.roofline import extract_features
+from repro.sptensor import COOTensor
+from repro.tune import (
+    FormatScore,
+    recommend_block_size,
+    recommend_format,
+    score_formats,
+    storage_bytes,
+)
+from repro.types import Format, Kernel
+
+
+@pytest.fixture(scope="module")
+def clustered():
+    """Dense-ish cluster: HiCOO territory."""
+    rng = np.random.default_rng(0)
+    inds = np.unique(rng.integers(0, 48, size=(4000, 3)), axis=0)
+    return COOTensor((10000, 10000, 10000), inds, rng.random(len(inds)))
+
+
+@pytest.fixture(scope="module")
+def hypersparse():
+    """~1 nnz per block: COO territory."""
+    return COOTensor.random((1 << 20, 1 << 20, 1 << 20), nnz=3000, rng=1)
+
+
+class TestStorageModel:
+    def test_matches_actual_formats(self, clustered):
+        from repro.sptensor import HiCOOTensor
+
+        feats = extract_features(clustered, "c", 128)
+        assert storage_bytes(feats, Format.COO) == clustered.nbytes
+        h = HiCOOTensor.from_coo(clustered, 128)
+        assert storage_bytes(feats, Format.HICOO) == h.nbytes
+
+    def test_unknown_format(self, clustered):
+        feats = extract_features(clustered, "c", 128)
+        with pytest.raises(ValueError):
+            storage_bytes(feats, Format.CSF)
+
+
+class TestScoreFormats:
+    def test_scores_cover_both_formats(self, clustered):
+        feats = extract_features(clustered, "c", 128)
+        scores = score_formats(feats)
+        assert {s.fmt for s in scores} == {Format.COO, Format.HICOO}
+        assert all(s.modeled_seconds > 0 for s in scores)
+
+    def test_hypersparse_flagged(self, hypersparse):
+        feats = extract_features(hypersparse, "h", 128)
+        scores = score_formats(feats)
+        hicoo = next(s for s in scores if s.fmt is Format.HICOO)
+        assert "hypersparse" in hicoo.notes
+
+
+class TestBlockSize:
+    def test_clustered_gets_small_blocks(self, clustered):
+        b, alpha = recommend_block_size(clustered)
+        assert b <= 64
+        assert alpha >= 1.5
+
+    def test_hypersparse_falls_back_to_largest(self, hypersparse):
+        b, alpha = recommend_block_size(hypersparse)
+        assert b == 256
+        assert alpha < 1.5
+
+
+class TestRecommendFormat:
+    def test_clustered_prefers_hicoo(self, clustered):
+        rec = recommend_format(clustered, kernels=[Kernel.MTTKRP])
+        assert rec.fmt is Format.HICOO
+        assert rec.alpha > 1.5
+
+    def test_hypersparse_prefers_coo(self, hypersparse):
+        rec = recommend_format(hypersparse, kernels=[Kernel.MTTKRP])
+        assert rec.fmt is Format.COO
+
+    def test_scores_exposed(self, clustered):
+        rec = recommend_format(clustered)
+        assert len(rec.scores) == 2
+        assert all(isinstance(s, FormatScore) for s in rec.scores)
+
+    def test_kernel_mix_accepted_as_strings(self, clustered):
+        rec = recommend_format(clustered, kernels=["tew", "ttv"])
+        assert rec.fmt in (Format.COO, Format.HICOO)
+
+    def test_generator_tensors(self):
+        pl = powerlaw_tensor((5000, 5000, 16), 8000, dense_modes=(2,), seed=2)
+        kron = kronecker_tensor((4096, 4096, 4096), 4000, seed=3)
+        for t in (pl, kron):
+            rec = recommend_format(t)
+            assert rec.block_size in (32, 64, 128, 256)

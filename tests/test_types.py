@@ -1,0 +1,72 @@
+"""Tests for dtype conventions and enum coercion."""
+
+import numpy as np
+import pytest
+
+from repro.types import (
+    DEFAULT_BLOCK_SIZE,
+    DEFAULT_RANK,
+    Format,
+    Kernel,
+    OpKind,
+    Schedule,
+    index_dtype_for,
+)
+
+
+class TestEnumCoercion:
+    def test_opkind_from_string(self):
+        assert OpKind.coerce("add") is OpKind.ADD
+        assert OpKind.coerce("MUL") is OpKind.MUL
+
+    def test_opkind_identity(self):
+        assert OpKind.coerce(OpKind.DIV) is OpKind.DIV
+
+    def test_opkind_invalid(self):
+        with pytest.raises(ValueError, match="unknown element-wise op"):
+            OpKind.coerce("pow")
+
+    def test_schedule_from_string(self):
+        assert Schedule.coerce("dynamic") is Schedule.DYNAMIC
+        assert Schedule.coerce("GUIDED") is Schedule.GUIDED
+
+    def test_schedule_invalid(self):
+        with pytest.raises(ValueError):
+            Schedule.coerce("chaotic")
+
+    def test_kernel_from_string(self):
+        assert Kernel.coerce("mttkrp") is Kernel.MTTKRP
+        assert Kernel.coerce("Tew") is Kernel.TEW
+
+    def test_kernel_invalid(self):
+        with pytest.raises(ValueError):
+            Kernel.coerce("spmv")
+
+    def test_format_from_string(self):
+        assert Format.coerce("hicoo") is Format.HICOO
+        assert Format.coerce("gHiCOO") is Format.GHICOO
+
+    def test_format_invalid(self):
+        with pytest.raises(ValueError):
+            Format.coerce("csr")
+
+
+class TestIndexDtype:
+    def test_small_shape_uses_uint32(self):
+        assert index_dtype_for((100, 200, 300)) == np.dtype(np.uint32)
+
+    def test_huge_dim_widens(self):
+        assert index_dtype_for((2**33, 10)) == np.dtype(np.int64)
+
+    def test_boundary(self):
+        limit = np.iinfo(np.uint32).max
+        assert index_dtype_for((limit - 1,)) == np.dtype(np.uint32)
+        assert index_dtype_for((limit,)) == np.dtype(np.int64)
+
+
+class TestPaperConstants:
+    def test_paper_block_size(self):
+        assert DEFAULT_BLOCK_SIZE == 128
+
+    def test_paper_rank(self):
+        assert DEFAULT_RANK == 16

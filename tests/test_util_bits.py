@@ -1,0 +1,38 @@
+"""Tests for bit utilities."""
+
+import pytest
+
+from repro.util.bits import ilog2, is_pow2, next_pow2
+
+
+class TestIsPow2:
+    def test_powers(self):
+        for k in range(20):
+            assert is_pow2(1 << k)
+
+    def test_non_powers(self):
+        for n in (0, 3, 5, 6, 7, 9, 100, -4):
+            assert not is_pow2(n)
+
+
+class TestNextPow2:
+    def test_exact_power_unchanged(self):
+        assert next_pow2(64) == 64
+
+    def test_rounds_up(self):
+        assert next_pow2(65) == 128
+        assert next_pow2(3) == 4
+
+    def test_degenerate(self):
+        assert next_pow2(0) == 1
+        assert next_pow2(1) == 1
+
+
+class TestIlog2:
+    def test_values(self):
+        assert ilog2(1) == 0
+        assert ilog2(128) == 7
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            ilog2(100)

@@ -1,0 +1,57 @@
+"""Tests for the cross-format consistency checker."""
+
+import numpy as np
+import pytest
+
+from repro.sptensor import COOTensor
+from repro.validate import CheckResult, ValidationReport, validate_tensor
+
+
+class TestValidateTensor:
+    def test_random_tensor_passes(self):
+        t = COOTensor.random((30, 25, 20), nnz=600, rng=0)
+        report = validate_tensor(t, name="rnd", nthreads=2)
+        assert report.passed, report.render()
+        # full matrix: tew + ts + per-mode checks
+        assert len(report.checks) > 20
+
+    def test_4th_order_passes(self):
+        t = COOTensor.random((10, 9, 8, 7), nnz=400, rng=1)
+        report = validate_tensor(t, rank=4, block_size=4, nthreads=2)
+        assert report.passed, report.render()
+
+    def test_large_tensor_skips_dense(self):
+        t = COOTensor.random((3000, 3000, 3000), nnz=500, rng=2)
+        report = validate_tensor(t, nthreads=1, densify_limit=10_000)
+        assert report.passed
+        assert not any("vs dense" in c.name for c in report.checks)
+
+    def test_render_mentions_status(self):
+        t = COOTensor.random((12, 12, 12), nnz=100, rng=3)
+        report = validate_tensor(t, nthreads=1)
+        text = report.render()
+        assert "PASSED" in text
+        assert "mttkrp" in text
+
+
+class TestReportMechanics:
+    def test_shape_mismatch_fails(self):
+        rep = ValidationReport("x")
+        rep.add("bad", np.zeros(3), np.zeros(4), 1e-6, 1e-9)
+        assert not rep.passed
+        assert "shape" in rep.checks[0].detail
+
+    def test_value_mismatch_fails(self):
+        rep = ValidationReport("x")
+        rep.add("off", np.array([1.0]), np.array([2.0]), 1e-6, 1e-9)
+        assert not rep.passed
+        assert rep.checks[0].max_error == pytest.approx(1.0)
+
+    def test_close_values_pass(self):
+        rep = ValidationReport("x")
+        rep.add("ok", np.array([1.0 + 1e-12]), np.array([1.0]), 1e-6, 1e-9)
+        assert rep.passed
+
+    def test_check_result_fields(self):
+        c = CheckResult("n", True, 0.5)
+        assert c.name == "n" and c.passed and c.max_error == 0.5
