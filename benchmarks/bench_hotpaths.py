@@ -1,0 +1,173 @@
+"""Hot-path harness: kernel × format × method × schedule wall-clock.
+
+Times the scatter-add kernels (Mttkrp on COO/HiCOO) and the fiber-parallel
+kernels (Ttv/Ttm) across update methods (``atomic`` with arena vs per-chunk
+privatization, ``sort``, ``owner``), schedules, and backends, and writes
+``BENCH_kernels.json`` at the repo root.  The JSON is committed so every PR
+has a perf trajectory to compare against:
+
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py            # full
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py --quick    # CI smoke
+
+Two invariants are asserted and recorded under ``checks``:
+
+* the per-thread arena path beats the seed's per-chunk privatization on
+  COO-Mttkrp (dynamic schedule, >= 4 threads) — the tentpole claim;
+* ``method="owner"`` is bit-identical to the sequential kernel.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import time
+
+import numpy as np
+
+from repro.generate import powerlaw_tensor
+from repro.kernels import coo_mttkrp, coo_ttm, coo_ttv, hicoo_mttkrp
+from repro.parallel import OpenMPBackend, get_backend
+from repro.sptensor import HiCOOTensor
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_kernels.json")
+RANK = 16
+BLOCK = 128
+
+
+def _time(fn, reps: int, warmup: int = 1) -> dict:
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return {
+        "median_s": round(statistics.median(samples), 6),
+        "min_s": round(min(samples), 6),
+        "reps": reps,
+    }
+
+
+def run(quick: bool, nthreads: int, reps: int) -> dict:
+    shape, nnz = ((2000, 2000, 32), 30_000) if quick else ((8000, 8000, 64), 200_000)
+    x = powerlaw_tensor(shape, nnz=nnz, dense_modes=(2,), seed=13).sort()
+    h = HiCOOTensor.from_coo(x, BLOCK)
+    rng = np.random.default_rng(1)
+    mats = [rng.random((s, RANK)).astype(np.float32) for s in x.shape]
+    vec = rng.random(x.shape[1]).astype(np.float32)
+    seq = get_backend("sequential")
+    omp = OpenMPBackend(nthreads=nthreads)
+
+    results = []
+
+    def record(kernel, fmt, backend, nthr, fn, **tags):
+        entry = {"kernel": kernel, "format": fmt, "backend": backend,
+                 "nthreads": nthr, **tags, **_time(fn, reps)}
+        results.append(entry)
+        return entry
+
+    # --- Mttkrp: the scatter-add ablation ----------------------------- #
+    record("mttkrp", "coo", "sequential", 1,
+           lambda: coo_mttkrp(x, mats, 0, seq), method="atomic")
+    timings = {}
+    for schedule in ("static", "dynamic"):
+        for privatize in ("arena", "chunk"):
+            e = record(
+                "mttkrp", "coo", "openmp", nthreads,
+                lambda s=schedule, p=privatize: coo_mttkrp(
+                    x, mats, 0, omp, method="atomic", schedule=s, privatize=p
+                ),
+                method="atomic", schedule=schedule, privatize=privatize,
+            )
+            timings[(schedule, privatize)] = e["median_s"]
+    for method in ("sort", "owner"):
+        record("mttkrp", "coo", "openmp", nthreads,
+               lambda m=method: coo_mttkrp(x, mats, 0, omp, method=m),
+               method=method)
+
+    record("mttkrp", "hicoo", "sequential", 1,
+           lambda: hicoo_mttkrp(h, mats, 0, seq), method="atomic")
+    for privatize in ("arena", "chunk"):
+        record("mttkrp", "hicoo", "openmp", nthreads,
+               lambda p=privatize: hicoo_mttkrp(
+                   h, mats, 0, omp, method="atomic", privatize=p),
+               method="atomic", schedule="dynamic", privatize=privatize)
+    record("mttkrp", "hicoo", "openmp", nthreads,
+           lambda: hicoo_mttkrp(h, mats, 0, omp, method="owner"),
+           method="owner")
+
+    # --- Ttv / Ttm: fiber partitioning -------------------------------- #
+    u = rng.random((x.shape[1], RANK)).astype(np.float32)
+    for partition in ("uniform", "balanced"):
+        record("ttv", "coo", "openmp", nthreads,
+               lambda p=partition: coo_ttv(x, vec, 1, omp, partition=p),
+               partition=partition)
+        record("ttm", "coo", "openmp", nthreads,
+               lambda p=partition: coo_ttm(x, u, 1, omp, partition=p),
+               partition=partition)
+
+    # --- Invariant checks (recorded, and asserted below) --------------- #
+    ref = coo_mttkrp(x, mats, 0, seq)
+    owner_seq = coo_mttkrp(x, mats, 0, seq, method="owner")
+    owner_par = coo_mttkrp(x, mats, 0, omp, method="owner")
+    arena_s = timings[("dynamic", "arena")]
+    chunk_s = timings[("dynamic", "chunk")]
+    checks = {
+        "arena_beats_chunk_coo_dynamic": bool(arena_s < chunk_s),
+        "arena_speedup_vs_chunk_dynamic": round(chunk_s / arena_s, 3),
+        "owner_bitidentical_to_sequential": bool(
+            np.array_equal(ref, owner_seq) and np.array_equal(ref, owner_par)
+        ),
+    }
+    omp.shutdown()
+
+    return {
+        "meta": {
+            "tensor": {"shape": list(shape), "nnz": int(x.nnz),
+                       "generator": "powerlaw(dense_modes=(2,), seed=13)"},
+            "rank": RANK,
+            "hicoo_block": BLOCK,
+            "nthreads": nthreads,
+            "host_cpus": os.cpu_count(),
+            "numpy": np.__version__,
+            "quick": quick,
+        },
+        "results": results,
+        "checks": checks,
+    }
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small tensor, fewer reps (CI smoke)")
+    ap.add_argument("--out", default=DEFAULT_OUT,
+                    help=f"output JSON path (default {DEFAULT_OUT})")
+    ap.add_argument("--threads", type=int, default=max(4, os.cpu_count() or 1),
+                    help="OpenMP backend thread count (>= 4 for the ablation)")
+    ap.add_argument("--reps", type=int, default=None,
+                    help="timing repetitions (default 3 quick / 7 full)")
+    args = ap.parse_args()
+    reps = args.reps or (3 if args.quick else 7)
+
+    report = run(args.quick, args.threads, reps)
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.out}")
+    for key, val in report["checks"].items():
+        print(f"  {key}: {val}")
+    if not report["checks"]["owner_bitidentical_to_sequential"]:
+        raise SystemExit("FAIL: owner method not bit-identical to sequential")
+    # The timing check is only meaningful at full size; the quick smoke's
+    # tiny tensor produces too few chunks for a stable margin on noisy CI.
+    if not args.quick and not report["checks"]["arena_beats_chunk_coo_dynamic"]:
+        raise SystemExit("FAIL: arena privatization did not beat per-chunk")
+
+
+if __name__ == "__main__":
+    main()

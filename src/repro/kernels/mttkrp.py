@@ -16,11 +16,22 @@ Algorithm 2) parallelizes over tensor blocks, slicing the factor matrices
 per block so rows are reused while a block's entries are processed.
 
 NumPy notes: ``np.add.at`` is the race-free scatter-add primitive — it is
-the single-thread semantics of an atomic loop.  The multi-threaded path
-privatizes per-chunk partial outputs and reduces them at the end, because
-concurrent ``np.add.at`` calls on a shared array are not atomic in NumPy;
-the *performance model* still charges the kernel for atomic behaviour, so
-the benchmark's reported characteristics match the paper's algorithm.
+the single-thread semantics of an atomic loop.  Three update strategies
+make the multi-threaded kernels race-free:
+
+* ``method="atomic"`` — each worker thread accumulates into a private
+  arena from a shared :class:`~repro.parallel.workspace.WorkspacePool`
+  (one buffer per *thread*, reused across every chunk it runs) and the
+  arenas are tree-reduced into the output once.  The *performance model*
+  still charges the kernel for atomic behaviour, so the benchmark's
+  reported characteristics match the paper's algorithm.
+* ``method="sort"`` — sort updates by output row, segmented reduce (the
+  lock-avoiding alternative the paper cites).
+* ``method="owner"`` — owner-computes: non-zeros (or HiCOO blocks) are
+  pre-bucketed by disjoint output-row ranges so each thread owns a slice
+  of ``out`` and needs no privatization or atomics at all; the stable
+  bucketing keeps results bit-identical to the sequential kernel (see
+  :mod:`repro.parallel.ownership`).
 """
 
 from __future__ import annotations
@@ -34,9 +45,18 @@ from repro.types import Schedule
 from repro.parallel.atomic import atomic_add_rows, sorted_reduce_rows
 from repro.parallel.backend import Backend, get_backend
 from repro.parallel.openmp import OpenMPBackend
+from repro.parallel.ownership import owner_partition
 from repro.sptensor.coo import COOTensor
 from repro.sptensor.hicoo import HiCOOTensor
 from repro.util.validation import check_mode
+
+#: Update strategies shared by the COO and HiCOO kernels.
+MTTKRP_METHODS = ("atomic", "sort", "owner")
+
+#: Privatization strategies for the ``atomic`` method under a threaded
+#: backend.  ``"chunk"`` reproduces the seed's per-chunk buffers and is
+#: kept only as the baseline of the hot-path ablation harness.
+PRIVATIZE_MODES = ("arena", "chunk")
 
 
 def _check_matrices(shape, mats: Sequence[np.ndarray], mode: int) -> list:
@@ -70,30 +90,137 @@ def _check_matrices(shape, mats: Sequence[np.ndarray], mode: int) -> list:
     return out
 
 
+def _check_method(method: str, privatize: str) -> None:
+    if method not in MTTKRP_METHODS:
+        raise ValueError(
+            f"unknown Mttkrp method {method!r}; expected one of {MTTKRP_METHODS}"
+        )
+    if privatize not in PRIVATIZE_MODES:
+        raise ValueError(
+            f"unknown privatization {privatize!r}; expected one of {PRIVATIZE_MODES}"
+        )
+
+
 def _row_contributions(
-    indices: np.ndarray,
+    cols: Sequence["np.ndarray | None"],
     values: np.ndarray,
     mats: Sequence,
-    mode: int,
     dtype,
     lo: int = 0,
     hi: int | None = None,
+    sel: np.ndarray | None = None,
 ) -> np.ndarray:
-    """``contrib[k, :] = x_k * prod_{m != mode} U(m)[i_m(k), :]`` for the
-    entry range ``[lo, hi)`` — the per-non-zero work of the kernel."""
-    hi = len(values) if hi is None else hi
-    contrib = values[lo:hi].astype(dtype, copy=True)[:, None]
+    """``contrib[k, :] = x_k * prod_{m != mode} U(m)[i_m(k), :]``.
+
+    ``cols`` holds one canonical int64 index column per mode (``None`` at
+    the product mode, whose matrix is also ``None``) so no per-call
+    ``astype`` copies happen here.  Entries are selected either by the
+    contiguous range ``[lo, hi)`` or by the explicit index array ``sel``
+    (the owner-computes path, whose buckets are not contiguous).
+    """
+    if sel is None:
+        hi = len(values) if hi is None else hi
+        pick = slice(lo, hi)
+    else:
+        pick = sel
+    contrib = values[pick].astype(dtype, copy=True)[:, None]
     first = True
-    for m, u in enumerate(mats):
+    for col, u in zip(cols, mats):
         if u is None:
             continue
-        rows = u[indices[lo:hi, m].astype(np.int64), :]
+        rows = u[col[pick], :]
         if first:
             contrib = contrib * rows
             first = False
         else:
             contrib *= rows
     return contrib
+
+
+def _scatter_add_parallel(
+    out: np.ndarray,
+    rows: np.ndarray,
+    make_contrib,
+    total: int,
+    backend: Backend,
+    schedule: "Schedule | str",
+    chunk: int | None,
+    privatize: str,
+    entry_range,
+) -> None:
+    """Run the privatized scatter-add loop for the ``atomic`` method.
+
+    ``make_contrib(lo, hi)`` produces the contribution rows of the entry
+    range ``[lo, hi)``; ``entry_range(blo, bhi)`` maps a loop-iteration
+    range to an entry range (identity for COO, ``bptr`` lookup for HiCOO
+    blocks).  Threaded backends privatize into per-thread arenas (or the
+    seed's per-chunk buffers when ``privatize="chunk"``); the sequential
+    backend scatters straight into ``out``.
+    """
+    threaded = isinstance(backend, OpenMPBackend) and backend.nthreads > 1
+    if not threaded:
+        def body(blo: int, bhi: int) -> None:
+            lo, hi = entry_range(blo, bhi)
+            if hi <= lo:
+                return
+            atomic_add_rows(out, rows[lo:hi], make_contrib(lo, hi))
+
+        backend.parallel_for(total, body, schedule=schedule, chunk=chunk)
+        return
+
+    if privatize == "chunk":
+        # Seed baseline: one full-size private buffer per *chunk* — an
+        # unbounded O(nchunks) allocation + reduction pattern, kept only
+        # so the harness can measure what the arena pool saves.
+        partials: dict[tuple[int, int], np.ndarray] = {}
+
+        def body(blo: int, bhi: int) -> None:
+            lo, hi = entry_range(blo, bhi)
+            if hi <= lo:
+                return
+            local = np.zeros_like(out)
+            atomic_add_rows(local, rows[lo:hi], make_contrib(lo, hi))
+            partials[(lo, hi)] = local
+
+        backend.parallel_for(total, body, schedule=schedule, chunk=chunk)
+        for local in partials.values():
+            out += local
+        return
+
+    with backend.workspace(out.shape, out.dtype) as pool:
+        def body(blo: int, bhi: int) -> None:
+            lo, hi = entry_range(blo, bhi)
+            if hi <= lo:
+                return
+            atomic_add_rows(pool.acquire(), rows[lo:hi], make_contrib(lo, hi))
+
+        backend.parallel_for(total, body, schedule=schedule, chunk=chunk)
+        # The invariant the per-chunk scheme violated: private buffers
+        # are bounded by the thread count, never the chunk count.
+        assert pool.narenas <= backend.nthreads
+        pool.reduce_into(out)
+
+
+def _owner_scatter(
+    out: np.ndarray,
+    rows: np.ndarray,
+    cols,
+    values,
+    mats,
+    dtype,
+    backend: Backend,
+    align: int = 1,
+) -> None:
+    """Owner-computes scatter: bucket entries by output-row owner, then
+    each range gathers and reduces its own disjoint slice of ``out``."""
+    part = owner_partition(rows, out.shape[0], backend.nthreads, align=align)
+
+    def body(lo: int, hi: int) -> None:
+        sel = part.order[lo:hi]
+        contrib = _row_contributions(cols, values, mats, dtype, sel=sel)
+        atomic_add_rows(out, rows[sel], contrib)
+
+    backend.map_ranges(part.entry_ranges(), body)
 
 
 def coo_mttkrp(
@@ -103,6 +230,7 @@ def coo_mttkrp(
     backend: "Backend | str | None" = None,
     method: str = "atomic",
     schedule: "Schedule | str" = Schedule.STATIC,
+    privatize: str = "arena",
 ) -> np.ndarray:
     """COO-Mttkrp parallelized by non-zeros (ParTI's algorithm).
 
@@ -112,53 +240,47 @@ def coo_mttkrp(
         One ``(I_m, R)`` matrix per mode; the entry at ``mode`` is ignored
         (may be ``None``).
     method:
-        ``"atomic"`` — scatter-add per chunk (the paper's algorithm);
-        ``"sort"``   — sort-by-output-row then segmented reduce (the
-        lock-avoiding alternative, used by the ablation benchmark).
+        ``"atomic"`` — scatter-add per chunk into per-thread arenas (the
+        paper's algorithm); ``"sort"`` — sort-by-output-row then segmented
+        reduce; ``"owner"`` — owner-computes row partitioning, race-free
+        with no privatization and bit-identical to the sequential kernel.
+    privatize:
+        Arena strategy for the threaded ``atomic`` method: ``"arena"``
+        (per-thread workspace pool, the default) or ``"chunk"`` (the seed's
+        per-chunk buffers, kept as the harness ablation baseline).
 
     Returns the updated dense matrix ``(I_mode, R)``.
     """
     mode = check_mode(mode, x.nmodes)
     mats = _check_matrices(x.shape, mats, mode)
+    _check_method(method, privatize)
     backend = get_backend(backend)
     r = next(u.shape[1] for u in mats if u is not None)
     dtype = np.result_type(x.values, *[u for u in mats if u is not None])
     out = np.zeros((x.shape[mode], r), dtype=dtype)
     if x.nnz == 0:
         return out
-    rows = x.indices[:, mode].astype(np.int64)
+    cols = [
+        x.index_column(m) if mats[m] is not None else None
+        for m in range(x.nmodes)
+    ]
+    rows = x.index_column(mode)
 
     if method == "sort":
-        contrib = _row_contributions(x.indices, x.values, mats, mode, dtype)
+        contrib = _row_contributions(cols, x.values, mats, dtype)
         sorted_reduce_rows(out, rows, contrib)
         return out
-    if method != "atomic":
-        raise ValueError(f"unknown Mttkrp method {method!r}")
-
-    if isinstance(backend, OpenMPBackend) and backend.nthreads > 1:
-        # Privatized partial outputs per chunk (see module docstring).
-        partials: dict[tuple[int, int], np.ndarray] = {}
-
-        def body(lo: int, hi: int) -> None:
-            local = np.zeros_like(out)
-            contrib = _row_contributions(
-                x.indices, x.values, mats, mode, dtype, lo, hi
-            )
-            atomic_add_rows(local, rows[lo:hi], contrib)
-            partials[(lo, hi)] = local
-
-        backend.parallel_for(x.nnz, body, schedule=schedule)
-        for local in partials.values():
-            out += local
+    if method == "owner":
+        _owner_scatter(out, rows, cols, x.values, mats, dtype, backend)
         return out
 
-    def body(lo: int, hi: int) -> None:
-        contrib = _row_contributions(
-            x.indices, x.values, mats, mode, dtype, lo, hi
-        )
-        atomic_add_rows(out, rows[lo:hi], contrib)
+    def make_contrib(lo: int, hi: int) -> np.ndarray:
+        return _row_contributions(cols, x.values, mats, dtype, lo, hi)
 
-    backend.parallel_for(x.nnz, body, schedule=schedule)
+    _scatter_add_parallel(
+        out, rows, make_contrib, x.nnz, backend, schedule, None, privatize,
+        entry_range=lambda lo, hi: (lo, hi),
+    )
     return out
 
 
@@ -167,8 +289,10 @@ def hicoo_mttkrp(
     mats: Sequence[np.ndarray],
     mode: int,
     backend: "Backend | str | None" = None,
+    method: str = "atomic",
     schedule: "Schedule | str" = Schedule.DYNAMIC,
     blocks_per_chunk: int = 32,
+    privatize: str = "arena",
 ) -> np.ndarray:
     """HiCOO-Mttkrp (paper Algorithm 2) parallelized by tensor *blocks*.
 
@@ -176,54 +300,45 @@ def hicoo_mttkrp(
     offsets (``Ab = A + bi·B·R`` etc.) and the block's entries update the
     sliced output with 8-bit element indices — matrix rows are reused
     across the block, which is where HiCOO-Mttkrp's smaller memory traffic
-    (Table 1) comes from.  Blocks may collide on output rows, so blocks are
-    privatized per chunk exactly like the COO atomic path.
+    (Table 1) comes from.  Blocks may collide on output rows, so the
+    ``atomic`` method privatizes into per-thread arenas exactly like the
+    COO path; ``method="owner"`` instead buckets entries by output-row
+    ranges *aligned to block boundaries* (a block is never split between
+    owners), making the update conflict-free with no privatization.
     """
     mode = check_mode(mode, x.nmodes)
     mats = _check_matrices(x.shape, mats, mode)
+    _check_method(method, privatize)
     backend = get_backend(backend)
     r = next(u.shape[1] for u in mats if u is not None)
     dtype = np.result_type(x.values, *[u for u in mats if u is not None])
     out = np.zeros((x.shape[mode], r), dtype=dtype)
     if x.nnz == 0:
         return out
-    bsz = np.int64(x.block_size)
-    bid_of_entry = x.entry_block_ids()
-    # Global row per entry: block offset + element offset, per mode.
-    global_rows = {
-        m: x.binds[bid_of_entry, j].astype(np.int64) * bsz
-        + x.einds[:, j].astype(np.int64)
-        for j, m in enumerate(range(x.nmodes))
-    }
+    # Cached global coordinates: block offset + element offset, per mode.
+    cols = [
+        x.global_row(m) if mats[m] is not None else None
+        for m in range(x.nmodes)
+    ]
+    rows = x.global_row(mode)
 
-    use_private = isinstance(backend, OpenMPBackend) and backend.nthreads > 1
-    partials: dict[tuple[int, int], np.ndarray] = {}
+    if method == "sort":
+        contrib = _row_contributions(cols, x.values, mats, dtype)
+        sorted_reduce_rows(out, rows, contrib)
+        return out
+    if method == "owner":
+        _owner_scatter(
+            out, rows, cols, x.values, mats, dtype, backend,
+            align=x.block_size,
+        )
+        return out
 
-    def body(blo: int, bhi: int) -> None:
-        lo, hi = int(x.bptr[blo]), int(x.bptr[bhi])
-        if hi <= lo:
-            return
-        contrib = x.values[lo:hi].astype(dtype, copy=False)[:, None]
-        first = True
-        for m, u in enumerate(mats):
-            if u is None:
-                continue
-            rows_m = u[global_rows[m][lo:hi], :]
-            if first:
-                contrib = contrib * rows_m
-                first = False
-            else:
-                contrib *= rows_m
-        target = out
-        if use_private:
-            target = np.zeros_like(out)
-            partials[(blo, bhi)] = target
-        atomic_add_rows(target, global_rows[mode][lo:hi], contrib)
+    def make_contrib(lo: int, hi: int) -> np.ndarray:
+        return _row_contributions(cols, x.values, mats, dtype, lo, hi)
 
-    backend.parallel_for(
-        x.nblocks, body, schedule=schedule, chunk=blocks_per_chunk
+    _scatter_add_parallel(
+        out, rows, make_contrib, x.nblocks, backend, schedule,
+        blocks_per_chunk, privatize,
+        entry_range=lambda blo, bhi: (int(x.bptr[blo]), int(x.bptr[bhi])),
     )
-    if use_private:
-        for local in partials.values():
-            out += local
     return out

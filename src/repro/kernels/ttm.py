@@ -44,6 +44,7 @@ def coo_ttm(
     mode: int,
     backend: "Backend | str | None" = None,
     schedule: "Schedule | str" = Schedule.STATIC,
+    partition: str = "uniform",
 ) -> SemiCOOTensor:
     """COO-Ttm: output in sCOO format with dense mode ``mode`` of size R."""
     mode = check_mode(mode, x.nmodes)
@@ -59,7 +60,7 @@ def coo_ttm(
     # Pre-processing (sparse-dense property): fibers + output allocation.
     fi = x.fiber_index(mode)
     perm = fi.order
-    idx_n = x.indices[perm, mode].astype(np.int64)
+    idx_n = x.index_column(mode)[perm]
     vals = x.values[perm].astype(dtype, copy=False)
     heads = perm[fi.fptr[:-1]]
     out_inds = x.indices[heads][:, other]
@@ -67,7 +68,7 @@ def coo_ttm(
 
     # Timed loop: per-entry rank-R row scale, then per-fiber reduction.
     contrib = vals[:, None] * u[idx_n, :]
-    fiber_reduce(contrib, fi.fptr, out_vals, backend, schedule)
+    fiber_reduce(contrib, fi.fptr, out_vals, backend, schedule, partition)
 
     return SemiCOOTensor(out_shape, (mode,), out_inds, out_vals, check=False)
 
@@ -78,6 +79,7 @@ def ghicoo_ttm(
     mode: int,
     backend: "Backend | str | None" = None,
     schedule: "Schedule | str" = Schedule.STATIC,
+    partition: str = "uniform",
 ) -> SemiHiCOOTensor:
     """Ttm on a gHiCOO tensor with the product mode uncompressed.
 
@@ -126,7 +128,7 @@ def ghicoo_ttm(
 
     idx_n = x.uncompressed_column(mode).astype(np.int64)
     contrib = x.values.astype(dtype, copy=False)[:, None] * u[idx_n, :]
-    fiber_reduce(contrib, fptr, out_vals, backend, schedule)
+    fiber_reduce(contrib, fptr, out_vals, backend, schedule, partition)
 
     fiber_bid = bid[starts]
     out_bptr = np.searchsorted(fiber_bid, np.arange(x.nblocks + 1)).astype(np.int64)
@@ -148,9 +150,10 @@ def hicoo_ttm(
     mode: int,
     backend: "Backend | str | None" = None,
     schedule: "Schedule | str" = Schedule.STATIC,
+    partition: str = "uniform",
 ) -> SemiHiCOOTensor:
     """HiCOO-Ttm: gHiCOO re-representation (pre-processing) + shared loop."""
     mode = check_mode(mode, x.nmodes)
     comp = tuple(m for m in range(x.nmodes) if m != mode)
     g = GHiCOOTensor.from_coo(x.to_coo(), x.block_size, comp)
-    return ghicoo_ttm(g, u, mode, backend, schedule)
+    return ghicoo_ttm(g, u, mode, backend, schedule, partition)

@@ -17,6 +17,7 @@ import numpy as np
 from repro.errors import ShapeError
 from repro.types import Schedule
 from repro.parallel.backend import Backend, get_backend
+from repro.parallel.partition import balanced_partition
 from repro.sptensor.coo import COOTensor
 from repro.sptensor.ghicoo import GHiCOOTensor
 from repro.sptensor.hicoo import HiCOOTensor
@@ -39,14 +40,19 @@ def fiber_reduce(
     out: np.ndarray,
     backend: Backend,
     schedule: "Schedule | str" = Schedule.STATIC,
+    partition: str = "uniform",
 ) -> None:
     """Reduce contiguous fiber segments of ``contrib`` into ``out``.
 
     ``out[f] = sum(contrib[fptr[f]:fptr[f+1]])`` — the timed loop of
     Algorithm 1, parallelized over fibers.  Different fibers touch disjoint
     output entries, so the loop is race-free by construction; the only
-    hazard is load imbalance from unequal fiber lengths, which the backend
-    schedule mitigates.
+    hazard is load imbalance from unequal fiber lengths.  With
+    ``partition="uniform"`` the backend schedule splits the loop by fiber
+    *count*; ``partition="balanced"`` instead pre-cuts one contiguous fiber
+    range per thread with near-equal *non-zero* totals (the owner-computes
+    analogue for fiber-parallel kernels — the mitigation for the skew the
+    paper's Observation 4 calls out).
     """
     nf = len(fptr) - 1
 
@@ -57,7 +63,16 @@ def fiber_reduce(
         starts = (fptr[flo:fhi] - fptr[flo]).astype(np.int64)
         out[flo:fhi] = np.add.reduceat(seg, starts, axis=0)
 
-    backend.parallel_for(nf, body, schedule=schedule)
+    if partition == "balanced":
+        ranges = balanced_partition(np.diff(fptr), backend.nthreads)
+        backend.map_ranges(ranges, body)
+    elif partition == "uniform":
+        backend.parallel_for(nf, body, schedule=schedule)
+    else:
+        raise ValueError(
+            f"unknown fiber partition {partition!r}; "
+            "expected 'uniform' or 'balanced'"
+        )
 
 
 def coo_ttv(
@@ -66,6 +81,7 @@ def coo_ttv(
     mode: int,
     backend: "Backend | str | None" = None,
     schedule: "Schedule | str" = Schedule.STATIC,
+    partition: str = "uniform",
 ) -> COOTensor:
     """COO-Ttv (paper Algorithm 1): output in COO format, order N-1."""
     mode = check_mode(mode, x.nmodes)
@@ -79,7 +95,7 @@ def coo_ttv(
     # Pre-processing: fiber pointers + output allocation (untimed).
     fi = x.fiber_index(mode)
     perm = fi.order
-    idx_n = x.indices[perm, mode].astype(np.int64)
+    idx_n = x.index_column(mode)[perm]
     vals = x.values[perm]
     dtype = np.result_type(x.values, v)
     out_vals = np.zeros(fi.nfibers, dtype=dtype)
@@ -88,7 +104,7 @@ def coo_ttv(
 
     # Timed loop: scale by the gathered vector entries, reduce per fiber.
     contrib = vals.astype(dtype, copy=False) * v[idx_n]
-    fiber_reduce(contrib, fi.fptr, out_vals, backend, schedule)
+    fiber_reduce(contrib, fi.fptr, out_vals, backend, schedule, partition)
 
     out = COOTensor(out_shape, out_inds, out_vals, copy=False, check=False)
     return out
@@ -100,6 +116,7 @@ def ghicoo_ttv(
     mode: int,
     backend: "Backend | str | None" = None,
     schedule: "Schedule | str" = Schedule.STATIC,
+    partition: str = "uniform",
     block_size: int | None = None,
 ) -> HiCOOTensor:
     """Ttv on a gHiCOO tensor whose product mode is left *uncompressed*.
@@ -149,7 +166,7 @@ def ghicoo_ttv(
     # Timed loop: identical value computation to COO-Ttv.
     idx_n = x.uncompressed_column(mode).astype(np.int64)
     contrib = x.values.astype(dtype, copy=False) * v[idx_n]
-    fiber_reduce(contrib, fptr, out_vals, backend, schedule)
+    fiber_reduce(contrib, fptr, out_vals, backend, schedule, partition)
 
     # Assemble the HiCOO output reusing the input's block structure.
     out_binds = x.binds
@@ -169,13 +186,14 @@ def hicoo_ttv(
     mode: int,
     backend: "Backend | str | None" = None,
     schedule: "Schedule | str" = Schedule.STATIC,
+    partition: str = "uniform",
 ) -> HiCOOTensor:
     """HiCOO-Ttv: re-represent as gHiCOO with the product mode uncompressed
     (pre-processing, as in the paper), then run the shared value loop."""
     mode = check_mode(mode, x.nmodes)
     comp = tuple(m for m in range(x.nmodes) if m != mode)
     g = GHiCOOTensor.from_coo(x.to_coo(), x.block_size, comp)
-    return ghicoo_ttv(g, v, mode, backend, schedule)
+    return ghicoo_ttv(g, v, mode, backend, schedule, partition)
 
 
 def _drop_empty_blocks(t: HiCOOTensor) -> HiCOOTensor:

@@ -1,4 +1,4 @@
-"""CPU parallel substrate: backends, partitioners, atomics."""
+"""CPU parallel substrate: backends, partitioners, atomics, workspaces."""
 
 from repro.parallel.atomic import (
     ContentionStats,
@@ -8,6 +8,12 @@ from repro.parallel.atomic import (
 )
 from repro.parallel.backend import Backend, get_backend, register_backend
 from repro.parallel.openmp import OpenMPBackend
+from repro.parallel.ownership import (
+    OwnerPartition,
+    owner_partition,
+    owner_scatter_add,
+)
+from repro.parallel.workspace import WorkspacePool
 from repro.parallel.partition import (
     balanced_partition,
     chunk_ranges,
@@ -41,4 +47,8 @@ __all__ = [
     "sorted_reduce_rows",
     "contention_stats",
     "ContentionStats",
+    "WorkspacePool",
+    "OwnerPartition",
+    "owner_partition",
+    "owner_scatter_add",
 ]

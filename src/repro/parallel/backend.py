@@ -13,9 +13,14 @@ construction for race-free kernels.
 from __future__ import annotations
 
 import abc
+import contextlib
+import threading
 from typing import Callable
 
+import numpy as np
+
 from repro.types import Schedule
+from repro.parallel.workspace import WorkspacePool
 
 #: A loop body processing the half-open index range [lo, hi).
 RangeBody = Callable[[int, int], None]
@@ -43,6 +48,34 @@ class Backend(abc.ABC):
         """Execute ``body`` over explicit (lo, hi) ranges (fiber partitions)."""
         for lo, hi in ranges:
             body(lo, hi)
+
+    @contextlib.contextmanager
+    def workspace(self, shape, dtype):
+        """Check out a zeroed :class:`WorkspacePool` sized to this backend.
+
+        Pools are cached per ``(shape, dtype)`` on the backend, so repeated
+        kernel calls (e.g. the Mttkrps of a CP-ALS sweep) reuse the same
+        thread-local arenas instead of reallocating them; the pool is
+        re-zeroed when checked back in.  Concurrent checkouts of the same
+        geometry get distinct pools, so nested/overlapping kernel calls
+        never alias arenas.
+        """
+        try:
+            cache = self._ws_cache
+            lock = self._ws_lock
+        except AttributeError:
+            cache = self._ws_cache = {}
+            lock = self._ws_lock = threading.Lock()
+        key = (tuple(int(s) for s in shape), np.dtype(dtype).str)
+        with lock:
+            free = cache.setdefault(key, [])
+            pool = free.pop() if free else WorkspacePool(shape, dtype, self.nthreads)
+        try:
+            yield pool
+        finally:
+            pool.reset()
+            with lock:
+                cache[key].append(pool)
 
     @property
     def name(self) -> str:

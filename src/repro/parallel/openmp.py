@@ -73,7 +73,12 @@ class OpenMPBackend(Backend):
         elif schedule is Schedule.DYNAMIC:
             ranges = fixed_chunks(total, chunk or self.default_chunk)
         else:  # GUIDED
-            ranges = guided_chunks(total, self.nthreads, min_chunk=chunk or 1)
+            # Floor at the backend's default chunk (OpenMP's guided floors
+            # at the chunk argument too): min_chunk=1 degenerates into a
+            # long tail of 1-element chunks once remaining/nthreads < 1.
+            ranges = guided_chunks(
+                total, self.nthreads, min_chunk=chunk or self.default_chunk
+            )
         if len(ranges) == 1 or self.nthreads == 1:
             for lo, hi in ranges:
                 body(lo, hi)

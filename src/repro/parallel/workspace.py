@@ -1,0 +1,99 @@
+"""Thread-local dense accumulator arenas for privatized scatter-add.
+
+The seed COO-Mttkrp-OMP privatized its output *per chunk*: every chunk of
+a dynamic schedule allocated a fresh dense ``(I_mode, R)`` buffer and the
+final reduction summed one buffer per chunk — O(nchunks) full-size
+allocations plus an O(nchunks) serial dense reduction, traffic the paper's
+OpenMP kernels do not have.  Real privatized kernels (and the dense
+workspaces of Kjolstad et al., arXiv 1802.10574) privatize *per thread*:
+each worker owns one arena that it reuses across every chunk it executes,
+and the final reduction is a fixed ``nthreads``-way tree.
+
+:class:`WorkspacePool` implements that shape for the thread-pool backends:
+``acquire()`` hands the calling thread its arena (allocating it zeroed on
+first touch), ``reduce_into(out)`` folds the arenas into the shared output
+with a pairwise tree, and ``reset()`` re-zeroes the arenas so a pool cached
+on the backend can be checked out again without reallocating.
+
+The hard invariant the per-chunk scheme violated: a pool never holds more
+than ``max_arenas`` (= the backend's thread count) buffers, regardless of
+how many chunks the schedule produces.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+
+class WorkspacePool:
+    """Per-thread reusable dense accumulators for one privatized loop.
+
+    Parameters
+    ----------
+    shape, dtype:
+        Geometry of the shared output being privatized.
+    max_arenas:
+        Upper bound on distinct arenas — the executing backend's thread
+        count.  ``acquire`` raises if a loop somehow touches more threads,
+        because that is exactly the unbounded-memory bug this class exists
+        to prevent.
+    """
+
+    __slots__ = ("shape", "dtype", "max_arenas", "_arenas", "_lock")
+
+    def __init__(self, shape, dtype, max_arenas: int = 1):
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = np.dtype(dtype)
+        self.max_arenas = max(1, int(max_arenas))
+        self._arenas: dict[int, np.ndarray] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def narenas(self) -> int:
+        """Distinct arenas allocated so far (<= ``max_arenas``)."""
+        return len(self._arenas)
+
+    def acquire(self) -> np.ndarray:
+        """The calling thread's arena, allocated zeroed on first touch.
+
+        Subsequent chunks executed by the same thread get the *same* buffer
+        back, so their updates accumulate without any per-chunk allocation.
+        """
+        tid = threading.get_ident()
+        buf = self._arenas.get(tid)
+        if buf is None:
+            buf = np.zeros(self.shape, dtype=self.dtype)
+            with self._lock:
+                self._arenas[tid] = buf
+                if len(self._arenas) > self.max_arenas:
+                    raise RuntimeError(
+                        f"WorkspacePool invariant violated: {len(self._arenas)} "
+                        f"arenas for max_arenas={self.max_arenas}"
+                    )
+        return buf
+
+    def reduce_into(self, out: np.ndarray) -> None:
+        """Fold every arena into ``out`` with a pairwise reduction tree.
+
+        The fan-in is bounded by ``max_arenas`` (not the chunk count), so
+        the reduction cost is fixed per loop.  Arenas are consumed by the
+        tree; call :meth:`reset` before reusing the pool.
+        """
+        bufs = list(self._arenas.values())
+        while len(bufs) > 1:
+            nxt = []
+            for i in range(0, len(bufs) - 1, 2):
+                bufs[i] += bufs[i + 1]
+                nxt.append(bufs[i])
+            if len(bufs) % 2:
+                nxt.append(bufs[-1])
+            bufs = nxt
+        if bufs:
+            out += bufs[0]
+
+    def reset(self) -> None:
+        """Zero every arena so the pool can back another loop."""
+        for buf in self._arenas.values():
+            buf[...] = 0

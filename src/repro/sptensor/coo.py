@@ -79,7 +79,7 @@ class COOTensor:
         construct coordinates known to be in bounds pass ``False``.
     """
 
-    __slots__ = ("shape", "indices", "values", "_sort_order")
+    __slots__ = ("shape", "indices", "values", "_sort_order", "_index_cols")
 
     def __init__(
         self,
@@ -115,6 +115,7 @@ class COOTensor:
             values = values.astype(VALUE_DTYPE)
         self.values = np.array(values) if copy else np.asarray(values)
         self._sort_order: tuple[int, ...] | None = None
+        self._index_cols: dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------------ #
     # Basic properties
@@ -152,6 +153,23 @@ class COOTensor:
             f"COOTensor(shape={self.shape}, nnz={self.nnz}, "
             f"density={self.density:.3g})"
         )
+
+    def index_column(self, mode: int) -> np.ndarray:
+        """Canonical int64 copy of mode ``mode``'s index column, cached.
+
+        Kernels index factor matrices with int64 coordinates; slicing
+        ``indices[:, mode].astype(np.int64)`` per call silently copies the
+        (strided) column every time.  This caches one contiguous read-only
+        int64 column per mode for the tensor's lifetime; :meth:`sort`
+        invalidates the cache when it permutes the entries.
+        """
+        mode = check_mode(mode, self.nmodes)
+        col = self._index_cols.get(mode)
+        if col is None:
+            col = np.ascontiguousarray(self.indices[:, mode], dtype=np.int64)
+            col.setflags(write=False)
+            self._index_cols[mode] = col
+        return col
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -274,6 +292,7 @@ class COOTensor:
         self.indices = np.ascontiguousarray(self.indices[perm])
         self.values = self.values[perm]
         self._sort_order = order
+        self._index_cols = {}
         return self
 
     @property

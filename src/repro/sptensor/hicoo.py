@@ -64,7 +64,10 @@ class HiCOOTensor:
     arrays and is used by kernels that pre-allocate outputs.
     """
 
-    __slots__ = ("shape", "block_size", "bptr", "binds", "einds", "values")
+    __slots__ = (
+        "shape", "block_size", "bptr", "binds", "einds", "values",
+        "_entry_bids", "_global_rows",
+    )
 
     def __init__(
         self,
@@ -88,6 +91,8 @@ class HiCOOTensor:
         self.binds = np.asarray(binds)
         self.einds = np.asarray(einds, dtype=EINDEX_DTYPE)
         self.values = np.asarray(values)
+        self._entry_bids: np.ndarray | None = None
+        self._global_rows: dict[int, np.ndarray] = {}
         if check:
             self._validate()
 
@@ -192,19 +197,44 @@ class HiCOOTensor:
 
     def to_coo(self) -> COOTensor:
         """Expand back to COO: ``index = bind * B + eind`` per entry."""
-        bid = self.entry_block_ids()
-        inds = (
-            self.binds[bid].astype(np.int64) * np.int64(self.block_size)
-            + self.einds.astype(np.int64)
+        out = COOTensor(
+            self.shape, self.global_indices(), self.values, copy=False, check=False
         )
-        out = COOTensor(self.shape, inds, self.values, copy=False, check=False)
         return out
 
     def entry_block_ids(self) -> np.ndarray:
-        """``(M,)`` map from entry to its owning block id."""
-        return np.repeat(
-            np.arange(self.nblocks, dtype=np.int64), np.diff(self.bptr)
-        )
+        """``(M,)`` map from entry to its owning block id (cached).
+
+        HiCOO tensors are immutable once built, so the expansion is
+        computed once and shared by every kernel call on this tensor.
+        """
+        if self._entry_bids is None:
+            bid = np.repeat(
+                np.arange(self.nblocks, dtype=np.int64), np.diff(self.bptr)
+            )
+            bid.setflags(write=False)
+            self._entry_bids = bid
+        return self._entry_bids
+
+    def global_row(self, mode: int) -> np.ndarray:
+        """``(M,)`` int64 global coordinates along ``mode``, cached.
+
+        ``bind * B + eind`` per entry — the per-mode gather every HiCOO
+        kernel needs.  The seed recomputed (and silently copied) this for
+        *every* mode on *every* Mttkrp call; caching it per mode makes the
+        re-gather free across kernel calls and modes.
+        """
+        col = self._global_rows.get(mode)
+        if col is None:
+            bid = self.entry_block_ids()
+            col = (
+                self.binds[bid, mode].astype(np.int64)
+                * np.int64(self.block_size)
+                + self.einds[:, mode].astype(np.int64)
+            )
+            col.setflags(write=False)
+            self._global_rows[mode] = col
+        return col
 
     def block_slice(self, b: int) -> slice:
         """Entry range of block ``b``."""
@@ -223,8 +253,8 @@ class HiCOOTensor:
 
     def global_indices(self) -> np.ndarray:
         """``(M, N)`` int64 reconstructed global coordinates (block-ordered)."""
-        bid = self.entry_block_ids()
-        return (
-            self.binds[bid].astype(np.int64) * np.int64(self.block_size)
-            + self.einds.astype(np.int64)
+        if self.nnz == 0:
+            return np.empty((0, self.nmodes), dtype=np.int64)
+        return np.stack(
+            [self.global_row(m) for m in range(self.nmodes)], axis=1
         )
