@@ -32,6 +32,11 @@ from repro.kernels.flops import (
     ttv_cost,
 )
 from repro.kernels.contract import (
+    Access,
+    OutputContract,
+    declares_output,
+    output_contract,
+    registered_contracts,
     sparse_contract,
     sparse_inner,
     sparse_ttm,
@@ -117,6 +122,11 @@ __all__ = [
     "sparse_inner",
     "sparse_ttv",
     "sparse_ttm",
+    "Access",
+    "OutputContract",
+    "declares_output",
+    "output_contract",
+    "registered_contracts",
     "scoo_ttm",
     "scoo_ttm_chain",
     "dense_tew",

@@ -42,9 +42,9 @@ import numpy as np
 
 from repro.errors import ShapeError
 from repro.types import Schedule
+from repro.kernels.contract import Access, declares_output
 from repro.parallel.atomic import atomic_add_rows, sorted_reduce_rows
 from repro.parallel.backend import Backend, get_backend
-from repro.parallel.openmp import OpenMPBackend
 from repro.parallel.ownership import owner_partition
 from repro.sptensor.coo import COOTensor
 from repro.sptensor.hicoo import HiCOOTensor
@@ -157,7 +157,7 @@ def _scatter_add_parallel(
     seed's per-chunk buffers when ``privatize="chunk"``); the sequential
     backend scatters straight into ``out``.
     """
-    threaded = isinstance(backend, OpenMPBackend) and backend.nthreads > 1
+    threaded = backend.is_threaded
     if not threaded:
         def body(blo: int, bhi: int) -> None:
             lo, hi = entry_range(blo, bhi)
@@ -165,7 +165,8 @@ def _scatter_add_parallel(
                 return
             atomic_add_rows(out, rows[lo:hi], make_contrib(lo, hi))
 
-        backend.parallel_for(total, body, schedule=schedule, chunk=chunk)
+        with backend.check_output(out, Access.ATOMIC):
+            backend.parallel_for(total, body, schedule=schedule, chunk=chunk)
         return
 
     if privatize == "chunk":
@@ -182,7 +183,8 @@ def _scatter_add_parallel(
             atomic_add_rows(local, rows[lo:hi], make_contrib(lo, hi))
             partials[(lo, hi)] = local
 
-        backend.parallel_for(total, body, schedule=schedule, chunk=chunk)
+        with backend.check_output(out, Access.WORKSPACE):
+            backend.parallel_for(total, body, schedule=schedule, chunk=chunk)
         for local in partials.values():
             out += local
         return
@@ -194,7 +196,8 @@ def _scatter_add_parallel(
                 return
             atomic_add_rows(pool.acquire(), rows[lo:hi], make_contrib(lo, hi))
 
-        backend.parallel_for(total, body, schedule=schedule, chunk=chunk)
+        with backend.check_output(out, Access.WORKSPACE):
+            backend.parallel_for(total, body, schedule=schedule, chunk=chunk)
         # The invariant the per-chunk scheme violated: private buffers
         # are bounded by the thread count, never the chunk count.
         assert pool.narenas <= backend.nthreads
@@ -220,9 +223,15 @@ def _owner_scatter(
         contrib = _row_contributions(cols, values, mats, dtype, sel=sel)
         atomic_add_rows(out, rows[sel], contrib)
 
-    backend.map_ranges(part.entry_ranges(), body)
+    with backend.check_output(out, Access.OWNER):
+        backend.map_ranges(part.entry_ranges(), body)
 
 
+@declares_output(by_method={
+    "atomic": Access.WORKSPACE,  # threaded: per-thread arenas, reduced once
+    "sort": Access.DISJOINT,     # segmented reduce writes each row once
+    "owner": Access.OWNER,
+})
 def coo_mttkrp(
     x: COOTensor,
     mats: Sequence[np.ndarray],
@@ -284,6 +293,11 @@ def coo_mttkrp(
     return out
 
 
+@declares_output(by_method={
+    "atomic": Access.WORKSPACE,
+    "sort": Access.DISJOINT,
+    "owner": Access.OWNER,
+})
 def hicoo_mttkrp(
     x: HiCOOTensor,
     mats: Sequence[np.ndarray],

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.errors import PatternMismatchError
 from repro.types import OpKind
+from repro.kernels.contract import Access, declares_output
 from repro.parallel.backend import Backend, get_backend
 from repro.sptensor.coo import COOTensor
 from repro.sptensor.hicoo import HiCOOTensor
@@ -52,9 +53,12 @@ def elementwise_values(
     def body(lo: int, hi: int) -> None:
         ufunc(xv[lo:hi], yv[lo:hi], out=out[lo:hi])
 
-    backend.parallel_for(len(out), body)
+    # Chunks write disjoint slices of the value array by construction.
+    with backend.check_output(out, Access.DISJOINT):
+        backend.parallel_for(len(out), body)
 
 
+@declares_output(Access.DISJOINT)
 def coo_tew(
     x: COOTensor,
     y: COOTensor,
@@ -115,6 +119,7 @@ def coo_tew(
     return out
 
 
+@declares_output(Access.DISJOINT)
 def hicoo_tew(
     x: HiCOOTensor,
     y: HiCOOTensor,

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.types import OpKind
+from repro.kernels.contract import Access, declares_output
 from repro.parallel.backend import Backend, get_backend
 from repro.sptensor.coo import COOTensor
 from repro.sptensor.hicoo import HiCOOTensor
@@ -37,9 +38,12 @@ def scalar_values(
     def body(lo: int, hi: int) -> None:
         ufunc(xv[lo:hi], s, out=out[lo:hi])
 
-    backend.parallel_for(len(out), body)
+    # Chunks write disjoint slices of the value array by construction.
+    with backend.check_output(out, Access.DISJOINT):
+        backend.parallel_for(len(out), body)
 
 
+@declares_output(Access.DISJOINT)
 def coo_ts(
     x: COOTensor,
     s: float,
@@ -58,6 +62,7 @@ def coo_ts(
     return out
 
 
+@declares_output(Access.DISJOINT)
 def hicoo_ts(
     x: HiCOOTensor,
     s: float,

@@ -24,6 +24,7 @@ from repro.sptensor.ghicoo import GHiCOOTensor
 from repro.sptensor.hicoo import HiCOOTensor
 from repro.sptensor.scoo import SemiCOOTensor
 from repro.sptensor.shicoo import SemiHiCOOTensor
+from repro.kernels.contract import Access, declares_output
 from repro.kernels.ttv import fiber_reduce
 from repro.util.validation import check_mode
 
@@ -38,6 +39,7 @@ def _check_matrix(x_shape, u: np.ndarray, mode: int) -> np.ndarray:
     return u
 
 
+@declares_output(Access.DISJOINT)
 def coo_ttm(
     x: COOTensor,
     u: np.ndarray,
@@ -73,6 +75,7 @@ def coo_ttm(
     return SemiCOOTensor(out_shape, (mode,), out_inds, out_vals, check=False)
 
 
+@declares_output(Access.DISJOINT)
 def ghicoo_ttm(
     x: GHiCOOTensor,
     u: np.ndarray,
@@ -144,6 +147,7 @@ def ghicoo_ttm(
     )
 
 
+@declares_output(Access.DISJOINT)
 def hicoo_ttm(
     x: HiCOOTensor,
     u: np.ndarray,

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.errors import ShapeError
 from repro.types import Schedule
+from repro.kernels.contract import Access, declares_output
 from repro.parallel.backend import Backend, get_backend
 from repro.parallel.partition import balanced_partition
 from repro.sptensor.coo import COOTensor
@@ -63,18 +64,22 @@ def fiber_reduce(
         starts = (fptr[flo:fhi] - fptr[flo]).astype(np.int64)
         out[flo:fhi] = np.add.reduceat(seg, starts, axis=0)
 
-    if partition == "balanced":
-        ranges = balanced_partition(np.diff(fptr), backend.nthreads)
-        backend.map_ranges(ranges, body)
-    elif partition == "uniform":
-        backend.parallel_for(nf, body, schedule=schedule)
-    else:
-        raise ValueError(
-            f"unknown fiber partition {partition!r}; "
-            "expected 'uniform' or 'balanced'"
-        )
+    # Different fibers write disjoint output entries — the contract the
+    # race-check backend verifies on every replayed decomposition.
+    with backend.check_output(out, Access.DISJOINT):
+        if partition == "balanced":
+            ranges = balanced_partition(np.diff(fptr), backend.nthreads)
+            backend.map_ranges(ranges, body)
+        elif partition == "uniform":
+            backend.parallel_for(nf, body, schedule=schedule)
+        else:
+            raise ValueError(
+                f"unknown fiber partition {partition!r}; "
+                "expected 'uniform' or 'balanced'"
+            )
 
 
+@declares_output(Access.DISJOINT)
 def coo_ttv(
     x: COOTensor,
     v: np.ndarray,
@@ -110,6 +115,7 @@ def coo_ttv(
     return out
 
 
+@declares_output(Access.DISJOINT)
 def ghicoo_ttv(
     x: GHiCOOTensor,
     v: np.ndarray,
@@ -180,6 +186,7 @@ def ghicoo_ttv(
     return _drop_empty_blocks(out)
 
 
+@declares_output(Access.DISJOINT)
 def hicoo_ttv(
     x: HiCOOTensor,
     v: np.ndarray,

@@ -27,12 +27,48 @@ RangeBody = Callable[[int, int], None]
 
 _REGISTRY: dict[str, "Backend"] = {}
 
+#: Guards the lazy creation of per-backend workspace caches.
+_WS_INIT_LOCK = threading.Lock()
+
 
 class Backend(abc.ABC):
     """Strategy object executing chunked parallel-for loops."""
 
     #: Logical worker count (1 for sequential).
     nthreads: int = 1
+
+    #: Pool class used by :meth:`workspace`; an extension point so the
+    #: correctness harness can substitute instrumented pools.
+    workspace_cls = WorkspacePool
+
+    @property
+    def is_threaded(self) -> bool:
+        """Whether kernels should use their multi-worker update strategy
+        (privatized arenas etc.) under this backend.
+
+        The race-check backend overrides this to ``True`` even though it
+        executes chunks sequentially, so it replays — and checks — the
+        decomposition the threaded kernels actually run.
+        """
+        return self.nthreads > 1
+
+    @contextlib.contextmanager
+    def check_output(self, out, access="atomic"):
+        """Declare ``out`` as the shared output of the enclosed parallel
+        region, written under the given access contract.
+
+        ``access`` is an output-access contract kind (see
+        :mod:`repro.kernels.contract`): ``"atomic"`` (overlapping writes
+        mediated by a commutative reduction), ``"owner"`` (chunks own
+        disjoint output ranges), ``"workspace"`` (chunks write only
+        thread-private arenas, never ``out``), or ``"disjoint"`` (chunks
+        write disjoint elements by construction).
+
+        A no-op for executing backends — zero overhead on the hot path.
+        ``RaceCheckBackend`` overrides it to record per-chunk write
+        footprints on ``out`` and flag contract violations.
+        """
+        yield
 
     @abc.abstractmethod
     def parallel_for(
@@ -64,12 +100,18 @@ class Backend(abc.ABC):
             cache = self._ws_cache
             lock = self._ws_lock
         except AttributeError:
-            cache = self._ws_cache = {}
-            lock = self._ws_lock = threading.Lock()
+            # First checkout may race from two threads; guard the lazy
+            # init so both see one cache and one lock.
+            with _WS_INIT_LOCK:
+                if not hasattr(self, "_ws_cache"):
+                    self._ws_cache = {}
+                    self._ws_lock = threading.Lock()
+            cache = self._ws_cache
+            lock = self._ws_lock
         key = (tuple(int(s) for s in shape), np.dtype(dtype).str)
         with lock:
             free = cache.setdefault(key, [])
-            pool = free.pop() if free else WorkspacePool(shape, dtype, self.nthreads)
+            pool = free.pop() if free else self.workspace_cls(shape, dtype, self.nthreads)
         try:
             yield pool
         finally:

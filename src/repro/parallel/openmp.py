@@ -10,16 +10,28 @@ Chunks run on a persistent :class:`~concurrent.futures.ThreadPoolExecutor`.
 Because kernel bodies are NumPy ufunc calls that release the GIL, chunks
 execute concurrently on multicore hosts; on a single core the backend
 degrades gracefully to interleaved execution with identical results.
+
+Every chunk executes under a leased *worker slot*
+(:class:`~repro.parallel.slots.SlotPool`) — the ``omp_get_thread_num()``
+analogue that privatized state (``WorkspacePool`` arenas) keys itself on,
+so worker identity survives executor recycling and OS thread-ident reuse.
+
+Error semantics: a failing chunk causes ``parallel_for``/``map_ranges`` to
+raise the failure of the *earliest chunk in chunk order* (not an arbitrary
+member of an unordered ``wait()`` set) after cancelling chunks that have
+not started yet.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor, wait
+import threading
+from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
 
 from repro.types import Schedule
 from repro.parallel.backend import Backend, RangeBody
-from repro.parallel.partition import chunk_ranges, fixed_chunks, guided_chunks
+from repro.parallel.partition import plan_ranges
+from repro.parallel.slots import SlotPool, bound_slot
 
 
 def _default_nthreads() -> int:
@@ -40,19 +52,44 @@ class OpenMPBackend(Backend):
         self.nthreads = nthreads if nthreads else _default_nthreads()
         self.default_chunk = int(default_chunk)
         self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        self._slots = SlotPool(self.nthreads)
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.nthreads, thread_name_prefix="repro-omp"
-            )
-        return self._pool
+        pool = self._pool
+        if pool is None:
+            with self._pool_lock:
+                pool = self._pool
+                if pool is None:
+                    pool = self._pool = ThreadPoolExecutor(
+                        max_workers=self.nthreads, thread_name_prefix="repro-omp"
+                    )
+        return pool
 
     def shutdown(self) -> None:
-        """Tear down the worker pool (tests; otherwise lives with process)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Tear down the worker pool (tests; otherwise lives with process).
+
+        The backend stays usable: the next loop lazily recreates the
+        executor, and slot-keyed workspace pools survive the recycled
+        worker threads.
+        """
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def plan(
+        self,
+        total: int,
+        schedule: "Schedule | str" = Schedule.STATIC,
+        chunk: int | None = None,
+    ) -> list[tuple[int, int]]:
+        """The chunk decomposition ``parallel_for`` would execute.
+
+        Exposed so the race-check and chaos backends replay the identical
+        decomposition this backend runs.
+        """
+        return plan_ranges(total, schedule, chunk, self.nthreads, self.default_chunk)
 
     def parallel_for(
         self,
@@ -61,46 +98,41 @@ class OpenMPBackend(Backend):
         schedule: "Schedule | str" = Schedule.STATIC,
         chunk: int | None = None,
     ) -> None:
-        schedule = Schedule.coerce(schedule)
-        if total <= 0:
-            return
-        if schedule is Schedule.STATIC:
-            ranges = (
-                fixed_chunks(total, chunk)
-                if chunk is not None
-                else chunk_ranges(total, self.nthreads)
-            )
-        elif schedule is Schedule.DYNAMIC:
-            ranges = fixed_chunks(total, chunk or self.default_chunk)
-        else:  # GUIDED
-            # Floor at the backend's default chunk (OpenMP's guided floors
-            # at the chunk argument too): min_chunk=1 degenerates into a
-            # long tail of 1-element chunks once remaining/nthreads < 1.
-            ranges = guided_chunks(
-                total, self.nthreads, min_chunk=chunk or self.default_chunk
-            )
-        if len(ranges) == 1 or self.nthreads == 1:
-            for lo, hi in ranges:
-                body(lo, hi)
-            return
-        pool = self._ensure_pool()
-        futures = [pool.submit(body, lo, hi) for lo, hi in ranges]
-        done, _ = wait(futures)
-        for f in done:
-            exc = f.exception()
-            if exc is not None:
-                raise exc
+        self._execute(self.plan(total, schedule, chunk), body)
 
     def map_ranges(self, ranges, body: RangeBody) -> None:
-        ranges = list(ranges)
-        if len(ranges) <= 1 or self.nthreads == 1:
-            for lo, hi in ranges:
+        self._execute(list(ranges), body)
+
+    def _execute(self, ranges: list[tuple[int, int]], body: RangeBody) -> None:
+        if not ranges:
+            return
+
+        def run_chunk(lo: int, hi: int) -> None:
+            with self._slots.lease():
                 body(lo, hi)
+
+        if len(ranges) == 1 or self.nthreads == 1:
+            # Caller-thread execution: bind slot 0 directly instead of
+            # leasing, so a direct call concurrent with a saturated
+            # executor cannot exhaust the slot pool.  Distinct kernel
+            # calls check out distinct workspace pools, so sharing slot 0
+            # across concurrent direct callers never aliases arenas.
+            for lo, hi in ranges:
+                with bound_slot(0):
+                    body(lo, hi)
             return
         pool = self._ensure_pool()
-        futures = [pool.submit(body, lo, hi) for lo, hi in ranges]
-        done, _ = wait(futures)
-        for f in done:
+        futures = [pool.submit(run_chunk, lo, hi) for lo, hi in ranges]
+        done, pending = wait(futures, return_when=FIRST_EXCEPTION)
+        if pending:
+            # Only non-empty when some chunk failed: cancel chunks that
+            # have not started, let the uncancellable ones drain.
+            for f in pending:
+                f.cancel()
+            wait(futures)
+        for f in futures:  # chunk order, so the first failure wins
+            if f.cancelled():
+                continue
             exc = f.exception()
             if exc is not None:
                 raise exc

@@ -136,4 +136,5 @@ def owner_scatter_add(
         sel = part.order[lo:hi]
         np.add.at(out, rows[sel], contrib[sel])
 
-    backend.map_ranges(part.entry_ranges(), body)
+    with backend.check_output(out, "owner"):
+        backend.map_ranges(part.entry_ranges(), body)

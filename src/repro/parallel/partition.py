@@ -12,6 +12,60 @@ from __future__ import annotations
 import numpy as np
 
 
+def validate_chunk(chunk: "int | None") -> "int | None":
+    """Validate an explicit chunk size; ``None`` means "use the default".
+
+    An explicit ``chunk=0`` is rejected rather than silently coerced to the
+    backend default (the old ``chunk or default`` idiom discarded it).
+    """
+    if chunk is None:
+        return None
+    c = int(chunk)
+    if c < 1:
+        raise ValueError(f"chunk must be >= 1 when given, got {chunk!r}")
+    return c
+
+
+def plan_ranges(
+    total: int,
+    schedule,
+    chunk: "int | None",
+    nthreads: int,
+    default_chunk: int,
+) -> list[tuple[int, int]]:
+    """The OpenMP-style chunk decomposition shared by every backend that
+    mirrors ``#pragma omp parallel for schedule(...)``.
+
+    * ``static``  — one near-equal chunk per thread, unless an explicit
+      chunk size is given;
+    * ``dynamic`` — fixed chunks of ``chunk`` (default ``default_chunk``);
+    * ``guided``  — decaying chunks floored at ``chunk``/``default_chunk``.
+
+    Exposed as a function so the race-check and chaos backends replay the
+    *identical* decomposition the executing backend would run.
+    """
+    from repro.types import Schedule
+
+    schedule = Schedule.coerce(schedule)
+    chunk = validate_chunk(chunk)
+    if total <= 0:
+        return []
+    if schedule is Schedule.STATIC:
+        return (
+            fixed_chunks(total, chunk)
+            if chunk is not None
+            else chunk_ranges(total, nthreads)
+        )
+    if schedule is Schedule.DYNAMIC:
+        return fixed_chunks(total, chunk if chunk is not None else default_chunk)
+    # GUIDED: floor at the default chunk (OpenMP's guided floors at the
+    # chunk argument too); min_chunk=1 would degenerate into a long tail
+    # of 1-element chunks once remaining/nthreads < 1.
+    return guided_chunks(
+        total, nthreads, min_chunk=chunk if chunk is not None else default_chunk
+    )
+
+
 def chunk_ranges(total: int, nchunks: int) -> list[tuple[int, int]]:
     """Split ``[0, total)`` into at most ``nchunks`` near-equal ranges."""
     if total <= 0:

@@ -9,7 +9,12 @@ from __future__ import annotations
 
 from repro.types import Schedule
 from repro.parallel.backend import Backend, RangeBody
-from repro.parallel.partition import chunk_ranges, fixed_chunks, guided_chunks
+from repro.parallel.partition import (
+    chunk_ranges,
+    fixed_chunks,
+    guided_chunks,
+    validate_chunk,
+)
 
 
 class SequentialBackend(Backend):
@@ -30,6 +35,7 @@ class SequentialBackend(Backend):
         chunk: int | None = None,
     ) -> None:
         schedule = Schedule.coerce(schedule)
+        chunk = validate_chunk(chunk)
         if chunk is not None:
             ranges = fixed_chunks(total, chunk)
         elif schedule is Schedule.GUIDED:

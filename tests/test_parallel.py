@@ -1,15 +1,22 @@
 """Tests for the CPU parallel substrate."""
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
 from repro.parallel import (
     OpenMPBackend,
     SequentialBackend,
+    SlotPool,
+    WorkspacePool,
     atomic_add_rows,
     balanced_partition,
+    bound_slot,
     chunk_ranges,
     contention_stats,
+    current_slot,
     fixed_chunks,
     get_backend,
     guided_chunks,
@@ -159,6 +166,331 @@ class TestOpenMPBackend:
     def test_env_thread_override(self, monkeypatch):
         monkeypatch.setenv("REPRO_NUM_THREADS", "3")
         assert OpenMPBackend().nthreads == 3
+
+
+class TestChunkValidation:
+    """chunk=0 must be rejected loudly, not silently swapped for a default
+    (the old ``chunk or default`` discarded falsy chunks)."""
+
+    @pytest.mark.parametrize("bad", [0, -1, -64])
+    def test_openmp_rejects_nonpositive_chunk(self, bad):
+        be = OpenMPBackend(nthreads=2)
+        try:
+            with pytest.raises(ValueError, match="chunk must be >= 1"):
+                be.parallel_for(100, lambda lo, hi: None, chunk=bad)
+        finally:
+            be.shutdown()
+
+    @pytest.mark.parametrize("bad", [0, -5])
+    def test_sequential_rejects_nonpositive_chunk(self, bad):
+        with pytest.raises(ValueError, match="chunk must be >= 1"):
+            SequentialBackend().parallel_for(100, lambda lo, hi: None, chunk=bad)
+
+    @pytest.mark.parametrize("schedule", ["static", "dynamic", "guided"])
+    def test_rejected_on_every_schedule(self, schedule):
+        be = OpenMPBackend(nthreads=2)
+        try:
+            with pytest.raises(ValueError, match="chunk must be >= 1"):
+                be.parallel_for(
+                    100, lambda lo, hi: None, schedule=schedule, chunk=0
+                )
+        finally:
+            be.shutdown()
+
+    def test_chunk_none_still_uses_default(self):
+        be = OpenMPBackend(nthreads=2, default_chunk=32)
+        try:
+            ranges = []
+            be.parallel_for(
+                100, lambda lo, hi: ranges.append((lo, hi)),
+                schedule="dynamic", chunk=None,
+            )
+            assert max(hi - lo for lo, hi in ranges) == 32
+        finally:
+            be.shutdown()
+
+
+class TestExceptionPropagation:
+    def test_earliest_chunk_failure_raised(self):
+        # Every chunk fails with a distinct message; the error raised must
+        # be chunk 0's (chunk order), not an arbitrary member of the
+        # unordered wait() done-set.
+        be = OpenMPBackend(nthreads=4)
+        try:
+            def body(lo, hi):
+                raise ValueError(f"chunk@{lo}")
+
+            with pytest.raises(ValueError, match=r"^chunk@0$"):
+                be.parallel_for(640, body, schedule="dynamic", chunk=10)
+        finally:
+            be.shutdown()
+
+    def test_failure_cancels_pending_chunks(self):
+        be = OpenMPBackend(nthreads=2)
+        started = []
+        lock = threading.Lock()
+
+        def body(lo, hi):
+            with lock:
+                started.append(lo)
+            if lo == 0:
+                raise RuntimeError("early failure")
+            time.sleep(0.02)
+
+        try:
+            with pytest.raises(RuntimeError, match="early failure"):
+                be.parallel_for(640, body, schedule="dynamic", chunk=10)
+            # 64 chunks planned; the failure in chunk 0 cancels the queue
+            # while workers sleep, so most chunks never start.
+            assert len(started) < 32
+        finally:
+            be.shutdown()
+
+    def test_exception_type_preserved(self):
+        be = OpenMPBackend(nthreads=2)
+
+        class KernelBug(Exception):
+            pass
+
+        def body(lo, hi):
+            if lo >= 50:
+                raise KernelBug("exact type please")
+
+        try:
+            with pytest.raises(KernelBug, match="exact type"):
+                be.parallel_for(100, body, schedule="dynamic", chunk=10)
+        finally:
+            be.shutdown()
+
+    def test_backend_usable_after_failure(self):
+        be = OpenMPBackend(nthreads=2)
+        try:
+            with pytest.raises(RuntimeError):
+                be.parallel_for(
+                    100, lambda lo, hi: (_ for _ in ()).throw(RuntimeError("x")),
+                    schedule="dynamic", chunk=10,
+                )
+            out = np.zeros(100)
+            be.parallel_for(
+                100, lambda lo, hi: out.__setitem__(slice(lo, hi), 1.0),
+                schedule="dynamic", chunk=10,
+            )
+            assert out.sum() == 100
+        finally:
+            be.shutdown()
+
+
+class TestBackendLifecycle:
+    def test_shutdown_then_reuse_recreates_executor(self):
+        be = OpenMPBackend(nthreads=2)
+        try:
+            assert_covers(collect_ranges(be, 100, schedule="dynamic", chunk=8), 100)
+            be.shutdown()
+            assert be._pool is None
+            assert_covers(collect_ranges(be, 100, schedule="dynamic", chunk=8), 100)
+            assert be._pool is not None
+        finally:
+            be.shutdown()
+
+    def test_cached_workspace_survives_executor_recycling(self):
+        # The worker threads after shutdown() are brand new OS threads;
+        # a pool cached across the recycle must stay bounded and correct.
+        be = OpenMPBackend(nthreads=2, default_chunk=16)
+        rng = np.random.default_rng(0)
+        rows = rng.integers(0, 20, size=400)
+        contrib = rng.random((400, 3))
+        ref = np.zeros((20, 3))
+        np.add.at(ref, rows, contrib)
+
+        def run():
+            out = np.zeros((20, 3))
+            with be.workspace(out.shape, out.dtype) as pool:
+                be.parallel_for(
+                    400,
+                    lambda lo, hi: np.add.at(
+                        pool.acquire(), rows[lo:hi], contrib[lo:hi]
+                    ),
+                    schedule="dynamic", chunk=16,
+                )
+                assert pool.narenas <= be.nthreads
+                pool.reduce_into(out)
+            return out
+
+        try:
+            np.testing.assert_allclose(run(), ref, rtol=1e-12)
+            be.shutdown()  # recycle: fresh executor, fresh thread idents
+            np.testing.assert_allclose(run(), ref, rtol=1e-12)
+            be.shutdown()
+            np.testing.assert_allclose(run(), ref, rtol=1e-12)
+            with be.workspace((20, 3), np.float64) as pool:
+                assert pool.narenas <= be.nthreads
+        finally:
+            be.shutdown()
+
+    def test_concurrent_same_geometry_checkouts_distinct(self):
+        be = OpenMPBackend(nthreads=2)
+        barrier = threading.Barrier(2)
+        pools = []
+        lock = threading.Lock()
+
+        def checkout():
+            with be.workspace((6, 2), np.float64) as pool:
+                with lock:
+                    pools.append(pool)
+                barrier.wait(timeout=5)  # both hold their pool at once
+
+        try:
+            threads = [threading.Thread(target=checkout) for _ in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert len(pools) == 2 and pools[0] is not pools[1]
+        finally:
+            be.shutdown()
+
+    def test_ensure_pool_race_creates_one_executor(self, monkeypatch):
+        import repro.parallel.openmp as openmp_mod
+
+        created = []
+        real = openmp_mod.ThreadPoolExecutor
+
+        class Counting(real):
+            def __init__(self, *args, **kw):
+                created.append(self)
+                super().__init__(*args, **kw)
+
+        monkeypatch.setattr(openmp_mod, "ThreadPoolExecutor", Counting)
+        be = OpenMPBackend(nthreads=4)
+        barrier = threading.Barrier(2)
+
+        def loop():
+            barrier.wait(timeout=5)
+            be.parallel_for(200, lambda lo, hi: None, schedule="dynamic", chunk=10)
+
+        try:
+            threads = [threading.Thread(target=loop) for _ in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert len(created) == 1, "racing loops must share one executor"
+        finally:
+            be.shutdown()
+
+
+class TestWorkspacePoolLifetime:
+    def test_second_reduce_raises(self):
+        pool = WorkspacePool((4,), np.float64, max_arenas=2)
+        pool.acquire()[:] = 2.0
+        out = np.zeros(4)
+        pool.reduce_into(out)
+        np.testing.assert_array_equal(out, 2.0)
+        with pytest.raises(RuntimeError, match="reduce_into.*twice"):
+            pool.reduce_into(out)
+        np.testing.assert_array_equal(out, 2.0)  # no silent double-count
+
+    def test_acquire_after_reduce_raises(self):
+        pool = WorkspacePool((4,), np.float64, max_arenas=2)
+        pool.acquire()
+        pool.reduce_into(np.zeros(4))
+        with pytest.raises(RuntimeError, match="acquire.*after reduce_into"):
+            pool.acquire()
+
+    def test_reset_reenables_the_pool(self):
+        pool = WorkspacePool((3,), np.float64, max_arenas=1)
+        pool.acquire()[:] = 5.0
+        out = np.zeros(3)
+        pool.reduce_into(out)
+        pool.reset()
+        buf = pool.acquire()  # allowed again
+        assert buf.sum() == 0  # and zeroed
+        buf[:] = 1.0
+        pool.reduce_into(out)
+        np.testing.assert_array_equal(out, 6.0)
+
+    def test_dead_thread_arena_adopted_with_contents(self):
+        # A worker that dies mid-loop must not strand its arena (the old
+        # leak) nor lose its partial sums (adoption keeps the buffer).
+        pool = WorkspacePool((2,), np.float64, max_arenas=1)
+
+        def worker():
+            pool.acquire()[:] = 7.0
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()  # thread is dead; its ident-keyed arena is stale
+        buf = pool.acquire()  # at capacity: adopts the departed arena
+        np.testing.assert_array_equal(buf, 7.0)
+        assert pool.narenas == 1
+        out = np.zeros(2)
+        pool.reduce_into(out)
+        np.testing.assert_array_equal(out, 7.0)
+
+    def test_slot_key_shared_across_os_threads(self):
+        # Two different OS threads bound to the same worker slot (in turn)
+        # must get the same arena: slot identity, not thread identity.
+        pool = WorkspacePool((2,), np.float64, max_arenas=4)
+        seen = []
+
+        def worker():
+            with bound_slot(1):
+                seen.append(id(pool.acquire()))
+
+        for _ in range(3):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert len(set(seen)) == 1
+        assert pool.narenas == 1
+
+
+class TestSlotPool:
+    def test_lease_binds_and_releases(self):
+        slots = SlotPool(2)
+        assert current_slot() is None
+        with slots.lease() as slot:
+            assert slot == 0
+            assert current_slot() == 0
+            with slots.lease() as inner:
+                assert inner == 1
+        assert current_slot() is None
+
+    def test_exhaustion_raises(self):
+        slots = SlotPool(1)
+        with slots.lease():
+            with pytest.raises(RuntimeError, match="SlotPool exhausted"):
+                with slots.lease():
+                    pass
+
+    def test_released_slot_reusable(self):
+        slots = SlotPool(1)
+        for _ in range(3):
+            with slots.lease() as slot:
+                assert slot == 0
+
+    def test_bound_slot_restores_previous(self):
+        with bound_slot(3):
+            assert current_slot() == 3
+            with bound_slot(5):
+                assert current_slot() == 5
+            assert current_slot() == 3
+        assert current_slot() is None
+
+    def test_backend_chunks_run_under_slots(self):
+        be = OpenMPBackend(nthreads=3)
+        seen = set()
+        lock = threading.Lock()
+
+        def body(lo, hi):
+            with lock:
+                seen.add(current_slot())
+
+        try:
+            be.parallel_for(300, body, schedule="dynamic", chunk=10)
+            assert seen and seen <= {0, 1, 2}
+        finally:
+            be.shutdown()
 
 
 class TestBackendRegistry:

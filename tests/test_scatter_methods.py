@@ -19,7 +19,9 @@ from repro.kernels import (
     hicoo_ttv,
 )
 from repro.parallel import (
+    ChaosBackend,
     OpenMPBackend,
+    RaceCheckBackend,
     WorkspacePool,
     owner_partition,
     owner_scatter_add,
@@ -34,6 +36,22 @@ METHODS = ["atomic", "sort", "owner"]
 @pytest.fixture(scope="module")
 def omp4():
     be = OpenMPBackend(nthreads=4, default_chunk=256)
+    yield be
+    be.shutdown()
+
+
+@pytest.fixture(scope="module")
+def racecheck():
+    # Same decomposition as omp4, executed under write-footprint checking:
+    # every combination below must hold its declared output contract.
+    return RaceCheckBackend(nthreads=4, default_chunk=256)
+
+
+@pytest.fixture(scope="module")
+def chaos():
+    be = ChaosBackend(
+        OpenMPBackend(nthreads=4, default_chunk=256), seed=42, churn=0.25
+    )
     yield be
     be.shutdown()
 
@@ -58,9 +76,11 @@ class TestMttkrpEquivalence:
     @pytest.mark.parametrize("method", METHODS)
     @pytest.mark.parametrize("schedule", SCHEDULES)
     @pytest.mark.parametrize("mode", [0, 1, 2])
-    def test_coo_all_combinations(self, tensor, mats, omp4, method, schedule, mode):
+    def test_coo_all_combinations(
+        self, tensor, mats, omp4, racecheck, method, schedule, mode
+    ):
         ref = coo_mttkrp(tensor, mats, mode)
-        for backend in (None, omp4):
+        for backend in (None, omp4, racecheck):
             got = coo_mttkrp(
                 tensor, mats, mode, backend=backend,
                 method=method, schedule=schedule,
@@ -70,9 +90,11 @@ class TestMttkrpEquivalence:
     @pytest.mark.parametrize("method", METHODS)
     @pytest.mark.parametrize("schedule", SCHEDULES)
     @pytest.mark.parametrize("mode", [0, 1, 2])
-    def test_hicoo_all_combinations(self, hicoo, mats, omp4, method, schedule, mode):
+    def test_hicoo_all_combinations(
+        self, hicoo, mats, omp4, racecheck, method, schedule, mode
+    ):
         ref = hicoo_mttkrp(hicoo, mats, mode)
-        for backend in (None, omp4):
+        for backend in (None, omp4, racecheck):
             got = hicoo_mttkrp(
                 hicoo, mats, mode, backend=backend,
                 method=method, schedule=schedule, blocks_per_chunk=3,
@@ -132,16 +154,38 @@ class TestMttkrpEquivalence:
         np.testing.assert_allclose(got, ref, rtol=1e-12)
 
 
+class TestChaosSchedulingEquivalence:
+    """Shuffled completion order + worker churn must not change results."""
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_coo_mttkrp_under_chaos(self, tensor, mats, chaos, method):
+        ref = coo_mttkrp(tensor, mats, 0)
+        got = coo_mttkrp(
+            tensor, mats, 0, backend=chaos, method=method, schedule="dynamic"
+        )
+        np.testing.assert_allclose(got, ref, rtol=1e-12)
+
+    def test_hicoo_mttkrp_under_chaos(self, hicoo, mats, chaos):
+        ref = hicoo_mttkrp(hicoo, mats, 0)
+        got = hicoo_mttkrp(hicoo, mats, 0, backend=chaos, blocks_per_chunk=3)
+        np.testing.assert_allclose(got, ref, rtol=1e-12)
+
+    def test_coo_ttv_under_chaos(self, tensor, chaos):
+        v = np.random.default_rng(6).random(tensor.shape[1])
+        ref = coo_ttv(tensor, v, 1)
+        assert ref.allclose(coo_ttv(tensor, v, 1, backend=chaos), rtol=1e-12)
+
+
 class TestFiberPartitionEquivalence:
     @pytest.mark.parametrize("partition", ["uniform", "balanced"])
     @pytest.mark.parametrize("schedule", SCHEDULES)
-    def test_coo_ttv_ttm(self, tensor, omp4, partition, schedule):
+    def test_coo_ttv_ttm(self, tensor, omp4, racecheck, partition, schedule):
         rng = np.random.default_rng(3)
         v = rng.random(tensor.shape[1])
         u = rng.random((tensor.shape[1], 5))
         ref_v = coo_ttv(tensor, v, 1)
         ref_m = coo_ttm(tensor, u, 1)
-        for backend in (None, omp4):
+        for backend in (None, omp4, racecheck):
             got_v = coo_ttv(
                 tensor, v, 1, backend=backend,
                 schedule=schedule, partition=partition,
