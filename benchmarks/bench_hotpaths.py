@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.generate import powerlaw_tensor
 from repro.kernels import coo_mttkrp, coo_ttm, coo_ttv, hicoo_mttkrp
+from repro.obs import Tracer, analyze, chrome_trace
 from repro.parallel import OpenMPBackend, get_backend
 from repro.sptensor import HiCOOTensor
 
@@ -52,7 +53,7 @@ def _time(fn, reps: int, warmup: int = 1) -> dict:
     }
 
 
-def run(quick: bool, nthreads: int, reps: int) -> dict:
+def run(quick: bool, nthreads: int, reps: int, trace_path: str | None = None) -> dict:
     shape, nnz = ((2000, 2000, 32), 30_000) if quick else ((8000, 8000, 64), 200_000)
     x = powerlaw_tensor(shape, nnz=nnz, dense_modes=(2,), seed=13).sort()
     h = HiCOOTensor.from_coo(x, BLOCK)
@@ -63,10 +64,27 @@ def run(quick: bool, nthreads: int, reps: int) -> dict:
     omp = OpenMPBackend(nthreads=nthreads)
 
     results = []
+    traces: list = []
 
     def record(kernel, fmt, backend, nthr, fn, **tags):
         entry = {"kernel": kernel, "format": fmt, "backend": backend,
                  "nthreads": nthr, **tags, **_time(fn, reps)}
+        if backend != "sequential":
+            # One traced rerun *after* the timing loop: the tracer is only
+            # installed here, so the recorded medians keep the untraced
+            # hot path while the entry still carries imbalance analytics.
+            tracer = Tracer()
+            with tracer:
+                fn()
+            trace = tracer.freeze()
+            st = analyze(trace)
+            entry["imbalance"] = round(st.imbalance, 3)
+            entry["busy_frac"] = round(st.busy_frac, 3)
+            if trace_path:
+                label = "/".join(
+                    str(v) for v in (kernel, fmt, *tags.values())
+                )
+                traces.append((label, trace))
         results.append(entry)
         return entry
 
@@ -125,6 +143,22 @@ def run(quick: bool, nthreads: int, reps: int) -> dict:
     }
     omp.shutdown()
 
+    if trace_path:
+        # One Chrome-trace document, one pid per traced entry, so Perfetto
+        # shows each kernel config as its own process lane.
+        merged = {"traceEvents": [], "displayTimeUnit": "ms"}
+        for pid, (label, trace) in enumerate(traces):
+            merged["traceEvents"].append({
+                "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                "args": {"name": label},
+            })
+            for ev in chrome_trace(trace)["traceEvents"]:
+                merged["traceEvents"].append(dict(ev, pid=pid))
+        with open(trace_path, "w") as f:
+            json.dump(merged, f, indent=1)
+            f.write("\n")
+        print(f"wrote Chrome trace ({len(traces)} traced reruns) -> {trace_path}")
+
     return {
         "meta": {
             "tensor": {"shape": list(shape), "nnz": int(x.nnz),
@@ -151,10 +185,12 @@ def main() -> None:
                     help="OpenMP backend thread count (>= 4 for the ablation)")
     ap.add_argument("--reps", type=int, default=None,
                     help="timing repetitions (default 3 quick / 7 full)")
+    ap.add_argument("--trace", metavar="PATH", default=None,
+                    help="save a Chrome trace of the traced reruns to PATH")
     args = ap.parse_args()
     reps = args.reps or (3 if args.quick else 7)
 
-    report = run(args.quick, args.threads, reps)
+    report = run(args.quick, args.threads, reps, trace_path=args.trace)
     with open(args.out, "w") as f:
         json.dump(report, f, indent=2)
         f.write("\n")

@@ -78,6 +78,11 @@ class RunnerConfig:
     #: the cache crossovers of Observation 2 land on the same *relative*
     #: tensor sizes.  1.0 = paper-scale tensors.
     cache_scale: float = 1.0
+    #: Record a span trace per (kernel, format) measurement and attach the
+    #: load-imbalance analytics (:func:`repro.obs.analyze`) to
+    #: ``PerfRecord.extra["obs"]``.  Off by default — tracing perturbs the
+    #: host timings it observes.
+    trace: bool = False
 
 
 @dataclass
@@ -160,24 +165,44 @@ class SuiteRunner:
         fmt = Format.coerce(fmt)
         cost = cost_for(bundle.features, kernel, fmt, self.config.rank)
         bound = self.roofline.attainable(cost.oi)
-        if self.platform.is_gpu:
-            seconds, host_seconds, extra = self._gpu_time(bundle, kernel, fmt)
-        else:
-            timing = modeled_cpu_time(
-                self.platform, kernel, fmt, bundle.features, self.config.rank
-            )
-            seconds = timing.total_s
-            extra = {
-                "memory_s": timing.memory_s,
-                "fiber_s": timing.fiber_s,
-                "atomic_s": timing.atomic_s,
-                "cache_resident": timing.cache_resident,
-            }
-            host_seconds = (
-                self._host_time(bundle, kernel, fmt)
-                if self.config.measure_host
-                else 0.0
-            )
+        tracer = None
+        if self.config.trace:
+            from repro.obs import Tracer
+
+            tracer = Tracer(
+                meta={
+                    "tensor": bundle.name,
+                    "kernel": kernel.value,
+                    "fmt": fmt.value,
+                    "platform": self.platform.name,
+                }
+            ).install()
+        try:
+            if self.platform.is_gpu:
+                seconds, host_seconds, extra = self._gpu_time(bundle, kernel, fmt)
+            else:
+                timing = modeled_cpu_time(
+                    self.platform, kernel, fmt, bundle.features, self.config.rank
+                )
+                seconds = timing.total_s
+                extra = {
+                    "memory_s": timing.memory_s,
+                    "fiber_s": timing.fiber_s,
+                    "atomic_s": timing.atomic_s,
+                    "cache_resident": timing.cache_resident,
+                }
+                host_seconds = (
+                    self._host_time(bundle, kernel, fmt)
+                    if self.config.measure_host
+                    else 0.0
+                )
+        finally:
+            if tracer is not None:
+                tracer.uninstall()
+        if tracer is not None:
+            from repro.obs import analyze
+
+            extra = dict(extra, obs=analyze(tracer.freeze()).as_dict())
         g = gflops(cost.flops, seconds)
         return PerfRecord(
             tensor=bundle.name,

@@ -9,6 +9,8 @@ Subcommands
                 fig7 observations``), print it, optionally save CSV.
 ``convert``   — convert a tensor file between ``.tns`` and ``.npz`` and
                 print format statistics (COO/HiCOO sizes, block stats).
+``trace``     — run one kernel under the span tracer and export a Chrome
+                trace plus per-worker busy-time / load-imbalance analytics.
 """
 
 from __future__ import annotations
@@ -84,7 +86,16 @@ def _cmd_bench(args) -> int:
         kwargs["seed"] = args.seed
         if args.tensors:
             kwargs["keys"] = args.tensors
-    report = EXPERIMENTS[args.exp](**kwargs)
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer(meta={"exp": args.exp, "scale": args.scale}).install()
+    try:
+        report = EXPERIMENTS[args.exp](**kwargs)
+    finally:
+        if tracer is not None:
+            tracer.uninstall()
     if args.chart and report.records:
         print(report.render_chart())
     else:
@@ -93,6 +104,13 @@ def _cmd_bench(args) -> int:
         os.makedirs(os.path.dirname(args.csv) or ".", exist_ok=True)
         report.save_csv(args.csv)
         print(f"\nsaved CSV -> {args.csv}")
+    if tracer is not None:
+        from repro.obs import save_chrome
+
+        os.makedirs(os.path.dirname(args.trace) or ".", exist_ok=True)
+        trace = tracer.freeze()
+        save_chrome(trace, args.trace)
+        print(f"saved Chrome trace ({len(trace.events)} events) -> {args.trace}")
     return 0
 
 
@@ -126,6 +144,124 @@ def _cmd_convert(args) -> int:
         else:
             write_tns(tensor, args.output)
         print(f"wrote -> {args.output}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    import numpy as np
+
+    from repro.kernels import (
+        coo_mttkrp,
+        coo_tew,
+        coo_ts,
+        coo_ttm,
+        coo_ttv,
+        hicoo_mttkrp,
+        hicoo_tew,
+        hicoo_ts,
+        hicoo_ttm,
+        hicoo_ttv,
+    )
+    from repro.obs import (
+        Tracer,
+        analyze,
+        flame_summary,
+        save_chrome,
+        write_jsonl,
+    )
+    from repro.parallel import OpenMPBackend
+    from repro.sptensor import HiCOOTensor, load_npz, read_tns
+    from repro.util.prng import rng_from_seed
+
+    if args.input:
+        coo = (
+            load_npz(args.input)
+            if args.input.endswith(".npz")
+            else read_tns(args.input)
+        ).sort()
+        name = os.path.basename(args.input)
+    else:
+        from repro.generate import powerlaw_tensor
+
+        coo = powerlaw_tensor(
+            args.shape, args.nnz, dense_modes=(len(args.shape) - 1,),
+            seed=args.seed,
+        ).sort()
+        name = f"powerlaw{tuple(args.shape)}"
+    x = coo if args.fmt == "coo" else HiCOOTensor.from_coo(coo, args.block_size)
+    rng = rng_from_seed(args.seed)
+    mats = [rng.random((s, args.rank)).astype(np.float32) for s in coo.shape]
+    vec = rng.random(coo.shape[args.mode]).astype(np.float32)
+
+    backend = OpenMPBackend(nthreads=args.nthreads)
+    kernels = {
+        "mttkrp": {
+            "coo": lambda be: coo_mttkrp(
+                coo, mats, args.mode, be,
+                method=args.method, schedule=args.schedule,
+            ),
+            "hicoo": lambda be: hicoo_mttkrp(
+                x, mats, args.mode, be,
+                method=args.method, schedule=args.schedule,
+            ),
+        },
+        "ttv": {
+            "coo": lambda be: coo_ttv(coo, vec, args.mode, be, schedule=args.schedule),
+            "hicoo": lambda be: hicoo_ttv(x, vec, args.mode, be, schedule=args.schedule),
+        },
+        "ttm": {
+            "coo": lambda be: coo_ttm(
+                coo, mats[args.mode], args.mode, be, schedule=args.schedule
+            ),
+            "hicoo": lambda be: hicoo_ttm(
+                x, mats[args.mode], args.mode, be, schedule=args.schedule
+            ),
+        },
+        "tew": {
+            "coo": lambda be: coo_tew(coo, coo, "add", be, assume_same_pattern=True),
+            "hicoo": lambda be: hicoo_tew(x, x, "add", be, assume_same_pattern=True),
+        },
+        "ts": {
+            "coo": lambda be: coo_ts(coo, 1.5, "mul", be),
+            "hicoo": lambda be: hicoo_ts(x, 1.5, "mul", be),
+        },
+    }
+    fn = kernels[args.kernel][args.fmt]
+    tracer = Tracer(
+        meta={
+            "tensor": name,
+            "kernel": args.kernel,
+            "fmt": args.fmt,
+            "nthreads": args.nthreads,
+            "schedule": args.schedule,
+        }
+    )
+    try:
+        with tracer:
+            for _ in range(args.repeats):
+                fn(backend)
+    finally:
+        backend.shutdown()
+    trace = tracer.freeze()
+    stats = analyze(trace)
+
+    print(
+        f"traced {args.kernel}/{args.fmt} on {name} "
+        f"(nnz {coo.nnz}, {args.nthreads} threads, {args.schedule})"
+    )
+    print()
+    print(stats.render())
+    if args.flame:
+        print()
+        print(flame_summary(trace))
+    os.makedirs(os.path.dirname(args.output) or ".", exist_ok=True)
+    save_chrome(trace, args.output)
+    print(f"\nsaved Chrome trace ({len(trace.events)} events) -> {args.output}")
+    print("  (open in Perfetto / chrome://tracing)")
+    if args.jsonl:
+        os.makedirs(os.path.dirname(args.jsonl) or ".", exist_ok=True)
+        write_jsonl(trace, args.jsonl)
+        print(f"saved JSON-lines events -> {args.jsonl}")
     return 0
 
 
@@ -207,7 +343,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--chart", action="store_true",
         help="render performance figures as ASCII bar charts",
     )
+    p_bench.add_argument(
+        "--trace", metavar="PATH",
+        help="record a span trace of the experiment and save it in Chrome "
+        "trace-event format to PATH",
+    )
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run one kernel under the span tracer; export a Chrome trace "
+        "and print per-worker busy time / load imbalance",
+    )
+    p_trace.add_argument("input", nargs="?", help=".tns/.npz file (optional)")
+    p_trace.add_argument(
+        "--kernel", default="mttkrp",
+        choices=["tew", "ts", "ttv", "ttm", "mttkrp"],
+    )
+    p_trace.add_argument("--fmt", choices=["coo", "hicoo"], default="coo")
+    p_trace.add_argument("--mode", type=int, default=0)
+    p_trace.add_argument("--rank", type=int, default=16)
+    p_trace.add_argument(
+        "--method", default="atomic", choices=["atomic", "sort", "owner"],
+        help="Mttkrp scatter method",
+    )
+    p_trace.add_argument("--nthreads", type=int, default=4)
+    p_trace.add_argument(
+        "--schedule", default="dynamic",
+        choices=["static", "dynamic", "guided"],
+    )
+    p_trace.add_argument("--block-size", type=int, default=128)
+    p_trace.add_argument("--repeats", type=int, default=1)
+    p_trace.add_argument("--shape", type=int, nargs="+", default=[500, 400, 30])
+    p_trace.add_argument("--nnz", type=int, default=20000)
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument(
+        "-o", "--output", default="trace.json",
+        help="Chrome trace-event JSON output path",
+    )
+    p_trace.add_argument("--jsonl", help="also write raw events as JSON lines")
+    p_trace.add_argument(
+        "--flame", action="store_true",
+        help="print a folded-stack flame summary",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_conv = sub.add_parser("convert", help="convert/inspect a tensor file")
     p_conv.add_argument("input", help=".tns or .npz file")

@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.errors import ShapeError
 from repro.types import Schedule
+from repro.obs.tracer import CAT_KERNEL, current_tracer
 from repro.kernels.contract import Access, declares_output
 from repro.parallel.atomic import atomic_add_rows, sorted_reduce_rows
 from repro.parallel.backend import Backend, get_backend
@@ -189,11 +190,18 @@ def _scatter_add_parallel(
             out += local
         return
 
+    tracer = current_tracer()
+
     with backend.workspace(out.shape, out.dtype) as pool:
         def body(blo: int, bhi: int) -> None:
             lo, hi = entry_range(blo, bhi)
             if hi <= lo:
                 return
+            if tracer.enabled:
+                # Enrich the enclosing chunk span: iteration ranges are
+                # blocks for HiCOO, so record the *entry* count the chunk
+                # actually moved (what load-imbalance is made of).
+                tracer.annotate(entries=hi - lo)
             atomic_add_rows(pool.acquire(), rows[lo:hi], make_contrib(lo, hi))
 
         with backend.check_output(out, Access.WORKSPACE):
@@ -217,9 +225,12 @@ def _owner_scatter(
     """Owner-computes scatter: bucket entries by output-row owner, then
     each range gathers and reduces its own disjoint slice of ``out``."""
     part = owner_partition(rows, out.shape[0], backend.nthreads, align=align)
+    tracer = current_tracer()
 
     def body(lo: int, hi: int) -> None:
         sel = part.order[lo:hi]
+        if tracer.enabled:
+            tracer.annotate(entries=len(sel))
         contrib = _row_contributions(cols, values, mats, dtype, sel=sel)
         atomic_add_rows(out, rows[sel], contrib)
 
@@ -269,28 +280,40 @@ def coo_mttkrp(
     out = np.zeros((x.shape[mode], r), dtype=dtype)
     if x.nnz == 0:
         return out
-    cols = [
-        x.index_column(m) if mats[m] is not None else None
-        for m in range(x.nmodes)
-    ]
-    rows = x.index_column(mode)
+    tracer = current_tracer()
+    if tracer.enabled:
+        tracer.count("kernel.nnz_processed", float(x.nnz))
+        tracer.count("kernel.flops", 3.0 * x.nnz * r)
+        if method == "atomic":
+            # The model charges the paper's algorithm: one scatter-add per
+            # (entry, rank column), whatever privatization executes it.
+            tracer.count("kernel.atomics_issued", float(x.nnz) * r)
+    with tracer.span(
+        "mttkrp", cat=CAT_KERNEL, fmt="coo", mode=mode, method=method,
+        backend=backend.name, nnz=x.nnz, rank=r,
+    ):
+        cols = [
+            x.index_column(m) if mats[m] is not None else None
+            for m in range(x.nmodes)
+        ]
+        rows = x.index_column(mode)
 
-    if method == "sort":
-        contrib = _row_contributions(cols, x.values, mats, dtype)
-        sorted_reduce_rows(out, rows, contrib)
+        if method == "sort":
+            contrib = _row_contributions(cols, x.values, mats, dtype)
+            sorted_reduce_rows(out, rows, contrib)
+            return out
+        if method == "owner":
+            _owner_scatter(out, rows, cols, x.values, mats, dtype, backend)
+            return out
+
+        def make_contrib(lo: int, hi: int) -> np.ndarray:
+            return _row_contributions(cols, x.values, mats, dtype, lo, hi)
+
+        _scatter_add_parallel(
+            out, rows, make_contrib, x.nnz, backend, schedule, None, privatize,
+            entry_range=lambda lo, hi: (lo, hi),
+        )
         return out
-    if method == "owner":
-        _owner_scatter(out, rows, cols, x.values, mats, dtype, backend)
-        return out
-
-    def make_contrib(lo: int, hi: int) -> np.ndarray:
-        return _row_contributions(cols, x.values, mats, dtype, lo, hi)
-
-    _scatter_add_parallel(
-        out, rows, make_contrib, x.nnz, backend, schedule, None, privatize,
-        entry_range=lambda lo, hi: (lo, hi),
-    )
-    return out
 
 
 @declares_output(by_method={
@@ -329,30 +352,40 @@ def hicoo_mttkrp(
     out = np.zeros((x.shape[mode], r), dtype=dtype)
     if x.nnz == 0:
         return out
-    # Cached global coordinates: block offset + element offset, per mode.
-    cols = [
-        x.global_row(m) if mats[m] is not None else None
-        for m in range(x.nmodes)
-    ]
-    rows = x.global_row(mode)
+    tracer = current_tracer()
+    if tracer.enabled:
+        tracer.count("kernel.nnz_processed", float(x.nnz))
+        tracer.count("kernel.flops", 3.0 * x.nnz * r)
+        if method == "atomic":
+            tracer.count("kernel.atomics_issued", float(x.nnz) * r)
+    with tracer.span(
+        "mttkrp", cat=CAT_KERNEL, fmt="hicoo", mode=mode, method=method,
+        backend=backend.name, nnz=x.nnz, rank=r, nblocks=x.nblocks,
+    ):
+        # Cached global coordinates: block offset + element offset, per mode.
+        cols = [
+            x.global_row(m) if mats[m] is not None else None
+            for m in range(x.nmodes)
+        ]
+        rows = x.global_row(mode)
 
-    if method == "sort":
-        contrib = _row_contributions(cols, x.values, mats, dtype)
-        sorted_reduce_rows(out, rows, contrib)
-        return out
-    if method == "owner":
-        _owner_scatter(
-            out, rows, cols, x.values, mats, dtype, backend,
-            align=x.block_size,
+        if method == "sort":
+            contrib = _row_contributions(cols, x.values, mats, dtype)
+            sorted_reduce_rows(out, rows, contrib)
+            return out
+        if method == "owner":
+            _owner_scatter(
+                out, rows, cols, x.values, mats, dtype, backend,
+                align=x.block_size,
+            )
+            return out
+
+        def make_contrib(lo: int, hi: int) -> np.ndarray:
+            return _row_contributions(cols, x.values, mats, dtype, lo, hi)
+
+        _scatter_add_parallel(
+            out, rows, make_contrib, x.nblocks, backend, schedule,
+            blocks_per_chunk, privatize,
+            entry_range=lambda blo, bhi: (int(x.bptr[blo]), int(x.bptr[bhi])),
         )
         return out
-
-    def make_contrib(lo: int, hi: int) -> np.ndarray:
-        return _row_contributions(cols, x.values, mats, dtype, lo, hi)
-
-    _scatter_add_parallel(
-        out, rows, make_contrib, x.nblocks, backend, schedule,
-        blocks_per_chunk, privatize,
-        entry_range=lambda blo, bhi: (int(x.bptr[blo]), int(x.bptr[bhi])),
-    )
-    return out

@@ -70,7 +70,10 @@ def coo_ttm(
 
     # Timed loop: per-entry rank-R row scale, then per-fiber reduction.
     contrib = vals[:, None] * u[idx_n, :]
-    fiber_reduce(contrib, fi.fptr, out_vals, backend, schedule, partition)
+    fiber_reduce(
+        contrib, fi.fptr, out_vals, backend, schedule, partition,
+        kernel="ttm", fmt="coo",
+    )
 
     return SemiCOOTensor(out_shape, (mode,), out_inds, out_vals, check=False)
 
@@ -131,7 +134,10 @@ def ghicoo_ttm(
 
     idx_n = x.uncompressed_column(mode).astype(np.int64)
     contrib = x.values.astype(dtype, copy=False)[:, None] * u[idx_n, :]
-    fiber_reduce(contrib, fptr, out_vals, backend, schedule, partition)
+    fiber_reduce(
+        contrib, fptr, out_vals, backend, schedule, partition,
+        kernel="ttm", fmt="ghicoo",
+    )
 
     fiber_bid = bid[starts]
     out_bptr = np.searchsorted(fiber_bid, np.arange(x.nblocks + 1)).astype(np.int64)

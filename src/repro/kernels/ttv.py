@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.errors import ShapeError
 from repro.types import Schedule
+from repro.obs.tracer import CAT_KERNEL, current_tracer
 from repro.kernels.contract import Access, declares_output
 from repro.parallel.backend import Backend, get_backend
 from repro.parallel.partition import balanced_partition
@@ -42,6 +43,8 @@ def fiber_reduce(
     backend: Backend,
     schedule: "Schedule | str" = Schedule.STATIC,
     partition: str = "uniform",
+    kernel: str = "fiber_reduce",
+    fmt: str = "coo",
 ) -> None:
     """Reduce contiguous fiber segments of ``contrib`` into ``out``.
 
@@ -54,29 +57,49 @@ def fiber_reduce(
     range per thread with near-equal *non-zero* totals (the owner-computes
     analogue for fiber-parallel kernels — the mitigation for the skew the
     paper's Observation 4 calls out).
+
+    ``kernel``/``fmt`` label the trace span the loop records when a
+    tracer is installed (Ttv and Ttm share this timed loop).
     """
     nf = len(fptr) - 1
+    nnz = len(contrib)
+    ncols = int(np.prod(contrib.shape[1:], dtype=np.int64)) if contrib.ndim > 1 else 1
+    tracer = current_tracer()
 
     def body(flo: int, fhi: int) -> None:
         if fhi <= flo:
             return
+        if tracer.enabled:
+            # Enrich the backend's chunk span with the fiber range's
+            # entry count — the quantity load imbalance is made of.
+            tracer.annotate(entries=int(fptr[fhi] - fptr[flo]), fibers=fhi - flo)
         seg = contrib[fptr[flo]:fptr[fhi]]
         starts = (fptr[flo:fhi] - fptr[flo]).astype(np.int64)
         out[flo:fhi] = np.add.reduceat(seg, starts, axis=0)
 
+    if tracer.enabled:
+        tracer.count("kernel.nnz_processed", float(nnz))
+        # One multiply (gathered operand scale) and one add per entry and
+        # rank column — Ttv has one column, Ttm has R.
+        tracer.count("kernel.flops", 2.0 * nnz * ncols)
+
     # Different fibers write disjoint output entries — the contract the
     # race-check backend verifies on every replayed decomposition.
-    with backend.check_output(out, Access.DISJOINT):
-        if partition == "balanced":
-            ranges = balanced_partition(np.diff(fptr), backend.nthreads)
-            backend.map_ranges(ranges, body)
-        elif partition == "uniform":
-            backend.parallel_for(nf, body, schedule=schedule)
-        else:
-            raise ValueError(
-                f"unknown fiber partition {partition!r}; "
-                "expected 'uniform' or 'balanced'"
-            )
+    with tracer.span(
+        kernel, cat=CAT_KERNEL, fmt=fmt, partition=partition,
+        backend=backend.name, nfibers=nf, nnz=nnz,
+    ):
+        with backend.check_output(out, Access.DISJOINT):
+            if partition == "balanced":
+                ranges = balanced_partition(np.diff(fptr), backend.nthreads)
+                backend.map_ranges(ranges, body)
+            elif partition == "uniform":
+                backend.parallel_for(nf, body, schedule=schedule)
+            else:
+                raise ValueError(
+                    f"unknown fiber partition {partition!r}; "
+                    "expected 'uniform' or 'balanced'"
+                )
 
 
 @declares_output(Access.DISJOINT)
@@ -109,7 +132,10 @@ def coo_ttv(
 
     # Timed loop: scale by the gathered vector entries, reduce per fiber.
     contrib = vals.astype(dtype, copy=False) * v[idx_n]
-    fiber_reduce(contrib, fi.fptr, out_vals, backend, schedule, partition)
+    fiber_reduce(
+        contrib, fi.fptr, out_vals, backend, schedule, partition,
+        kernel="ttv", fmt="coo",
+    )
 
     out = COOTensor(out_shape, out_inds, out_vals, copy=False, check=False)
     return out
@@ -172,7 +198,10 @@ def ghicoo_ttv(
     # Timed loop: identical value computation to COO-Ttv.
     idx_n = x.uncompressed_column(mode).astype(np.int64)
     contrib = x.values.astype(dtype, copy=False) * v[idx_n]
-    fiber_reduce(contrib, fptr, out_vals, backend, schedule, partition)
+    fiber_reduce(
+        contrib, fptr, out_vals, backend, schedule, partition,
+        kernel="ttv", fmt="ghicoo",
+    )
 
     # Assemble the HiCOO output reusing the input's block structure.
     out_binds = x.binds

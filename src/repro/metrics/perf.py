@@ -51,6 +51,7 @@ class PerfRecord:
             self.gflops,
             self.bound_gflops,
             self.efficiency,
+            self.host_seconds,
             self.host_gflops,
         ]
 
@@ -63,5 +64,6 @@ PERF_HEADERS = [
     "gflops",
     "roofline_gflops",
     "efficiency",
+    "host_seconds",
     "host_gflops",
 ]

@@ -1,0 +1,57 @@
+"""Observability layer: span tracing, counters, and trace analytics.
+
+Enable with ``Tracer().install()`` (or ``with Tracer() as t: ...``); the
+backends, scatter-add workspaces, GPU cost model, and kernels feed the
+installed tracer automatically.  Disabled (the default), every
+instrumentation site costs one branch on the process-global null tracer.
+"""
+
+from repro.obs.analytics import (
+    TraceStats,
+    WorkerStats,
+    analyze,
+    imbalance_factor,
+    worker_busy,
+)
+from repro.obs.export import (
+    chrome_trace,
+    flame_summary,
+    load_chrome,
+    save_chrome,
+    write_jsonl,
+)
+from repro.obs.tracer import (
+    CAT_CHUNK,
+    CAT_GPU,
+    CAT_KERNEL,
+    CAT_REGION,
+    NULL_TRACER,
+    NullTracer,
+    SpanEvent,
+    Trace,
+    Tracer,
+    current_tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "current_tracer",
+    "Trace",
+    "SpanEvent",
+    "CAT_REGION",
+    "CAT_CHUNK",
+    "CAT_KERNEL",
+    "CAT_GPU",
+    "TraceStats",
+    "WorkerStats",
+    "analyze",
+    "worker_busy",
+    "imbalance_factor",
+    "chrome_trace",
+    "save_chrome",
+    "load_chrome",
+    "write_jsonl",
+    "flame_summary",
+]

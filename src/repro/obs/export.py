@@ -1,0 +1,144 @@
+"""Trace exporters: Chrome trace-event JSON, JSON lines, flame summary.
+
+The Chrome format is the JSON-array-of-events schema understood by
+Perfetto (https://ui.perfetto.dev) and ``chrome://tracing``: complete
+spans are ``"ph": "X"`` events with microsecond ``ts``/``dur``, instant
+markers are ``"ph": "i"``, per-worker counter totals are ``"ph": "C"``
+samples, and ``"ph": "M"`` metadata names each worker's timeline row.
+Timestamps are rebased to the trace start so the viewer opens at zero.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from repro.obs.tracer import Trace
+
+#: Schema version stamped into exported traces' ``otherData``.
+CHROME_TRACE_VERSION = 1
+
+
+def chrome_trace(trace: Trace) -> dict:
+    """The trace as a Chrome trace-event dict (``json.dump``-ready)."""
+    t0 = trace.t0
+    tid_of: dict[str, int] = {}
+    events: list[dict] = []
+    for e in trace.events:
+        tid_of.setdefault(e.worker, e.tid)
+        record = {
+            "name": e.name,
+            "cat": e.cat,
+            "ph": "i" if e.instant else "X",
+            "ts": round((e.t0 - t0) * 1e6, 3),
+            "pid": 0,
+            "tid": e.tid,
+            "args": {"slot": e.slot, **e.attrs},
+        }
+        if e.instant:
+            record["s"] = "t"  # thread-scoped instant
+        else:
+            record["dur"] = round((e.t1 - e.t0) * 1e6, 3)
+        events.append(record)
+    end_ts = round(trace.wall_s * 1e6, 3)
+    for name, per_worker in sorted(trace.counters.items()):
+        for worker, value in sorted(per_worker.items()):
+            events.append({
+                "name": name,
+                "ph": "C",
+                "ts": end_ts,
+                "pid": 0,
+                "tid": tid_of.get(worker, 0),
+                "args": {"value": value},
+            })
+    meta = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": tid,
+            "args": {"name": worker},
+        }
+        for worker, tid in sorted(tid_of.items(), key=lambda kv: kv[1])
+    ]
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "exporter": "repro.obs",
+            "version": CHROME_TRACE_VERSION,
+            **trace.meta,
+        },
+    }
+
+
+def save_chrome(trace: Trace, path: str) -> None:
+    """Write the Chrome trace-event JSON to ``path``."""
+    with open(path, "w") as f:
+        json.dump(chrome_trace(trace), f, indent=1)
+        f.write("\n")
+
+
+def load_chrome(path: str) -> dict:
+    """Parse an exported Chrome trace (schema sanity checks included)."""
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError(f"{path} is not a Chrome trace-event file")
+    return doc
+
+
+def write_jsonl(trace: Trace, fileobj: "IO[str] | str") -> None:
+    """One JSON object per event (plus one trailer with counters/meta)."""
+    own = isinstance(fileobj, str)
+    f = open(fileobj, "w") if own else fileobj
+    try:
+        t0 = trace.t0
+        for e in trace.events:
+            f.write(json.dumps({
+                "name": e.name,
+                "cat": e.cat,
+                "worker": e.worker,
+                "slot": e.slot,
+                "t0_s": round(e.t0 - t0, 9),
+                "dur_s": round(e.duration_s, 9),
+                "depth": e.depth,
+                "path": list(e.path),
+                "attrs": e.attrs,
+                "instant": e.instant,
+            }) + "\n")
+        f.write(json.dumps({
+            "counters": trace.counters,
+            "gauges": trace.gauges,
+            "meta": trace.meta,
+        }) + "\n")
+    finally:
+        if own:
+            f.close()
+
+
+def flame_summary(trace: Trace, limit: int = 30) -> str:
+    """Folded-stack rollup: one line per span path, hottest first.
+
+    Paths are per-thread ancestor chains (``mttkrp;parallel_for``), so the
+    output is the text analogue of a flame graph; chunk spans recorded on
+    worker threads appear as their own roots.
+    """
+    agg: dict[tuple, list] = {}
+    for e in trace.spans():
+        entry = agg.setdefault(e.path, [0, 0.0])
+        entry[0] += 1
+        entry[1] += e.duration_s
+    if not agg:
+        return "(no spans recorded)"
+    rows = sorted(agg.items(), key=lambda kv: -kv[1][1])[:limit]
+    width = max(len(";".join(p)) for p, _ in rows)
+    lines = [f"{'span path':<{width}}  {'count':>6} {'total_s':>12} {'mean_s':>12}"]
+    for path, (count, total) in rows:
+        lines.append(
+            f"{';'.join(path):<{width}}  {count:>6d} {total:>12.6f} "
+            f"{total / count:>12.6f}"
+        )
+    if len(agg) > limit:
+        lines.append(f"... {len(agg) - limit} more path(s)")
+    return "\n".join(lines)

@@ -1,0 +1,379 @@
+"""Span-based tracing and counters for the parallel execution stack.
+
+The paper's observations are *explanations* of kernel time — which worker
+ran which chunk, how long, how many scatter updates collided — yet a
+benchmark that only reports end-to-end seconds cannot support them.  This
+module records that missing structure:
+
+* :class:`Tracer` — nestable wall-clock **spans**
+  (``with tracer.span("mttkrp", fmt="coo", mode=0): ...``) and named
+  **counters**/**gauges**, buffered *per worker*: events land in the
+  buffer of the backend worker slot executing them
+  (:func:`repro.parallel.slots.current_slot`), falling back to a
+  per-OS-thread buffer outside backend chunks.  A worker slot is held
+  exclusively while a chunk runs, so buffer appends are thread-confined
+  and need no locking on the hot path.
+* :class:`NullTracer` — the installed-by-default no-op.  Instrumentation
+  sites are written as ``if tracer.enabled: ...`` so a disabled span
+  costs one attribute load and one branch; ``NullTracer.span`` returns a
+  shared reentrant null context for call sites that skip the guard.
+* :func:`current_tracer` / :meth:`Tracer.install` — process-global
+  registration.  Instrumented code (backends, kernels, the GPU cost
+  model) always reads the global, so enabling tracing is one call and
+  requires no plumbing through kernel signatures; the race-check and
+  chaos backends inherit the installed tracer the same way.
+
+The recorded trace freezes into an immutable :class:`Trace` for the
+analytics (:mod:`repro.obs.analytics`) and exporters
+(:mod:`repro.obs.export`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from dataclasses import dataclass, field
+
+# Imported lazily: ``repro.parallel`` instruments itself against this
+# module, so a module-level import of ``repro.parallel.slots`` would close
+# an import cycle whenever ``repro.obs`` loads first.
+_current_slot = None
+
+
+def current_slot():
+    """Proxy for :func:`repro.parallel.slots.current_slot` (lazy-bound)."""
+    global _current_slot
+    if _current_slot is None:
+        from repro.parallel.slots import current_slot as cs
+        _current_slot = cs
+    return _current_slot()
+
+#: Event categories used by the suite's instrumentation sites.
+CAT_REGION = "region"   # one parallel_for / map_ranges loop
+CAT_CHUNK = "chunk"     # one chunk executed by one worker slot
+CAT_KERNEL = "kernel"   # one kernel invocation (mttkrp, ttv, ...)
+CAT_GPU = "gpu"         # one simulated GPU launch
+
+
+@dataclass
+class SpanEvent:
+    """One closed span (or instant marker) recorded by a worker."""
+
+    name: str
+    cat: str
+    t0: float
+    t1: float
+    #: Backend worker slot executing the span, or -1 outside any chunk.
+    slot: int
+    #: Nesting depth within the recording thread at the time of entry.
+    depth: int
+    #: Ancestor span names (same thread) ending with this span's name —
+    #: the folded-stack path the flame summary groups by.
+    path: tuple
+    attrs: dict
+    #: Instant events mark a point in time (``t1 == t0``).
+    instant: bool = False
+    #: Worker label and Chrome-trace thread id, resolved at freeze time.
+    worker: str = ""
+    tid: int = 0
+
+    @property
+    def duration_s(self) -> float:
+        return self.t1 - self.t0
+
+
+class _WorkerBuffer:
+    """Events and counter totals of one worker (slot or plain thread)."""
+
+    __slots__ = ("key", "events", "counters", "gauges")
+
+    def __init__(self, key: tuple):
+        self.key = key
+        self.events: list[SpanEvent] = []
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+
+
+class _Span:
+    """Context manager recording one span on exit.
+
+    A fresh ``_Span`` is created per :meth:`Tracer.span` call, so the same
+    tracer can have any number of spans open concurrently across threads.
+    """
+
+    __slots__ = ("_tracer", "name", "cat", "attrs", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, attrs: dict):
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.attrs = attrs
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._tracer._stack().append(self)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        t1 = time.perf_counter()
+        tracer = self._tracer
+        stack = tracer._stack()
+        stack.pop()
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        slot = current_slot()
+        tracer._buffer().events.append(
+            SpanEvent(
+                name=self.name,
+                cat=self.cat,
+                t0=self._t0,
+                t1=t1,
+                slot=-1 if slot is None else int(slot),
+                depth=len(stack),
+                path=tuple(s.name for s in stack) + (self.name,),
+                attrs=self.attrs,
+            )
+        )
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An immutable snapshot of everything a :class:`Tracer` recorded.
+
+    ``counters``/``gauges`` map ``name -> {worker_label: value}``; events
+    are sorted by start time with ``worker``/``tid`` resolved (slot ``n``
+    becomes ``worker-n`` with Chrome tid ``n``; non-slot threads become
+    ``thread-i`` with tids starting at :data:`EXTERNAL_TID_BASE`).
+    """
+
+    events: tuple
+    counters: dict
+    gauges: dict
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def t0(self) -> float:
+        return min((e.t0 for e in self.events), default=0.0)
+
+    @property
+    def wall_s(self) -> float:
+        """End-to-end wall clock spanned by the recorded events."""
+        if not self.events:
+            return 0.0
+        return max(e.t1 for e in self.events) - self.t0
+
+    def spans(self, cat: "str | None" = None):
+        """Closed (non-instant) spans, optionally of one category."""
+        return [
+            e for e in self.events
+            if not e.instant and (cat is None or e.cat == cat)
+        ]
+
+    def counter_total(self, name: str) -> float:
+        """One counter summed across workers (0.0 if never bumped)."""
+        return float(sum(self.counters.get(name, {}).values()))
+
+    @property
+    def workers(self) -> list:
+        """Worker labels observed in the trace, slot workers first."""
+        seen: dict[str, None] = {}
+        for e in self.events:
+            seen.setdefault(e.worker)
+        for per in list(self.counters.values()) + list(self.gauges.values()):
+            for w in per:
+                seen.setdefault(w)
+        return sorted(seen, key=lambda w: (not w.startswith("worker-"), w))
+
+
+#: Chrome-trace tids for events recorded outside any backend worker slot.
+EXTERNAL_TID_BASE = 1000
+
+
+class Tracer:
+    """Collects spans and counters; install process-wide to enable.
+
+    >>> tracer = Tracer()
+    >>> with tracer:                    # install() / uninstall()
+    ...     with tracer.span("work", cat="kernel", mode=0):
+    ...         tracer.count("nnz", 128)
+    >>> trace = tracer.freeze()
+    >>> [s.name for s in trace.spans()]
+    ['work']
+    """
+
+    enabled = True
+
+    def __init__(self, meta: "dict | None" = None):
+        self.meta = dict(meta or {})
+        self._buffers: dict[tuple, _WorkerBuffer] = {}
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+        self._prev: "Tracer | NullTracer | None" = None
+
+    # -- recording ----------------------------------------------------- #
+    def _stack(self) -> list:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _buffer(self) -> _WorkerBuffer:
+        slot = current_slot()
+        key = ("slot", int(slot)) if slot is not None else ("tid", threading.get_ident())
+        buf = self._buffers.get(key)
+        if buf is None:
+            with self._lock:
+                buf = self._buffers.setdefault(key, _WorkerBuffer(key))
+        return buf
+
+    def span(self, name: str, cat: str = CAT_KERNEL, **attrs) -> _Span:
+        """A context manager recording ``name`` with wall-clock bounds.
+
+        Spans nest: entering a span inside another (on the same thread)
+        records the ancestor path, so the flame summary can fold stacks.
+        The executing worker slot is captured automatically.
+        """
+        return _Span(self, name, cat, attrs)
+
+    def instant(self, name: str, cat: str = CAT_KERNEL, **attrs) -> None:
+        """Record a zero-duration marker (e.g. one simulated GPU launch)."""
+        now = time.perf_counter()
+        slot = current_slot()
+        stack = self._stack()
+        self._buffer().events.append(
+            SpanEvent(
+                name=name,
+                cat=cat,
+                t0=now,
+                t1=now,
+                slot=-1 if slot is None else int(slot),
+                depth=len(stack),
+                path=tuple(s.name for s in stack) + (name,),
+                attrs=attrs,
+                instant=True,
+            )
+        )
+
+    def annotate(self, **attrs) -> None:
+        """Merge attributes into the innermost open span of this thread.
+
+        Lets a kernel body enrich the *backend's* chunk span (e.g. with
+        the entry count it processed) without threading span handles
+        through call signatures.  No-op outside any open span.
+        """
+        stack = self._stack()
+        if stack:
+            stack[-1].attrs.update(attrs)
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to this worker's total for counter ``name``."""
+        counters = self._buffer().counters
+        counters[name] = counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set this worker's last-observed value for gauge ``name``."""
+        self._buffer().gauges[name] = float(value)
+
+    # -- lifecycle ----------------------------------------------------- #
+    def install(self) -> "Tracer":
+        """Make this the process-global tracer read by instrumentation."""
+        global _ACTIVE
+        self._prev = _ACTIVE
+        _ACTIVE = self
+        return self
+
+    def uninstall(self) -> None:
+        """Restore the tracer that was active before :meth:`install`."""
+        global _ACTIVE
+        if _ACTIVE is self:
+            _ACTIVE = self._prev if self._prev is not None else NULL_TRACER
+            self._prev = None
+
+    __enter__ = install
+
+    def __exit__(self, *exc) -> None:
+        self.uninstall()
+
+    def clear(self) -> None:
+        """Drop all recorded events and counter totals."""
+        with self._lock:
+            self._buffers.clear()
+
+    # -- snapshot ------------------------------------------------------ #
+    def freeze(self) -> Trace:
+        """Resolve worker identities and return an immutable snapshot.
+
+        Safe to call repeatedly; recording may continue afterwards (the
+        snapshot copies event lists, not the events themselves).
+        """
+        with self._lock:
+            buffers = list(self._buffers.values())
+        slot_keys = sorted(b.key[1] for b in buffers if b.key[0] == "slot")
+        thread_keys = [b.key for b in buffers if b.key[0] == "tid"]
+        labels: dict[tuple, tuple] = {
+            ("slot", s): (f"worker-{s}", s) for s in slot_keys
+        }
+        for i, key in enumerate(sorted(thread_keys, key=lambda k: k[1])):
+            labels[key] = (f"thread-{i}", EXTERNAL_TID_BASE + i)
+        events: list[SpanEvent] = []
+        counters: dict[str, dict[str, float]] = {}
+        gauges: dict[str, dict[str, float]] = {}
+        for buf in buffers:
+            label, tid = labels[buf.key]
+            for e in buf.events:
+                e.worker, e.tid = label, tid
+                events.append(e)
+            for name, value in buf.counters.items():
+                counters.setdefault(name, {})[label] = value
+            for name, value in buf.gauges.items():
+                gauges.setdefault(name, {})[label] = value
+        events.sort(key=lambda e: (e.t0, e.t1))
+        return Trace(
+            events=tuple(events),
+            counters=counters,
+            gauges=gauges,
+            meta=dict(self.meta),
+        )
+
+
+#: Shared reentrant no-op context manager handed out by the null tracer.
+_NULL_SPAN = contextlib.nullcontext()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    Installed by default so instrumentation sites can unconditionally
+    read :func:`current_tracer`; the ``enabled`` flag lets hot paths skip
+    even the null calls with a single branch.
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, name: str, cat: str = CAT_KERNEL, **attrs):
+        return _NULL_SPAN
+
+    def instant(self, name: str, cat: str = CAT_KERNEL, **attrs) -> None:
+        pass
+
+    def annotate(self, **attrs) -> None:
+        pass
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+_ACTIVE: "Tracer | NullTracer" = NULL_TRACER
+
+
+def current_tracer() -> "Tracer | NullTracer":
+    """The process-global tracer (the null tracer unless installed)."""
+    return _ACTIVE

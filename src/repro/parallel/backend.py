@@ -20,6 +20,7 @@ from typing import Callable
 import numpy as np
 
 from repro.types import Schedule
+from repro.obs.tracer import CAT_CHUNK, CAT_REGION, current_tracer
 from repro.parallel.workspace import WorkspacePool
 
 #: A loop body processing the half-open index range [lo, hi).
@@ -82,6 +83,21 @@ class Backend(abc.ABC):
 
     def map_ranges(self, ranges, body: RangeBody) -> None:
         """Execute ``body`` over explicit (lo, hi) ranges (fiber partitions)."""
+        tracer = current_tracer()
+        if tracer.enabled:
+            ranges = list(ranges)
+            with tracer.span(
+                "map_ranges", cat=CAT_REGION, backend=self.name,
+                schedule="explicit", nchunks=len(ranges),
+                nthreads=self.nthreads,
+            ):
+                for lo, hi in ranges:
+                    with tracer.span(
+                        "chunk", cat=CAT_CHUNK, backend=self.name,
+                        schedule="explicit", lo=lo, hi=hi,
+                    ):
+                        body(lo, hi)
+            return
         for lo, hi in ranges:
             body(lo, hi)
 

@@ -37,6 +37,7 @@ import random
 import threading
 
 from repro.types import Schedule
+from repro.obs.tracer import CAT_CHUNK, CAT_REGION, current_tracer
 from repro.parallel.backend import Backend, RangeBody
 from repro.parallel.openmp import OpenMPBackend
 
@@ -179,6 +180,28 @@ class ChaosBackend(Backend):
         ]
         pool = self.inner._ensure_pool() if self.inner.nthreads > 1 else None
 
+        # The process-global tracer propagates into chaos runs, so the
+        # adversarial schedule (shuffle order, churned chunks) is
+        # inspectable in the exported trace.
+        tracer = current_tracer()
+        if tracer.enabled:
+            inner_body = body
+
+            def body(lo: int, hi: int, _inner=inner_body) -> None:
+                with tracer.span(
+                    "chunk", cat=CAT_CHUNK, backend="chaos", lo=lo, hi=hi,
+                ):
+                    _inner(lo, hi)
+
+            region = tracer.span(
+                "chaos", cat=CAT_REGION, backend="chaos",
+                nchunks=len(ranges), nthreads=self.nthreads,
+                seed=self.seed, shuffle=self.shuffle,
+            )
+            region.__enter__()
+        else:
+            region = None
+
         def run_chunk(lo: int, hi: int) -> None:
             with self.inner._slots.lease():
                 body(lo, hi)
@@ -207,5 +230,7 @@ class ChaosBackend(Backend):
                     break
         finally:
             self.drain()
+            if region is not None:
+                region.__exit__(None, None, None)
         if errors:
             raise errors[min(errors)]

@@ -29,6 +29,7 @@ import threading
 from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
 
 from repro.types import Schedule
+from repro.obs.tracer import CAT_CHUNK, CAT_REGION, current_tracer
 from repro.parallel.backend import Backend, RangeBody
 from repro.parallel.partition import plan_ranges
 from repro.parallel.slots import SlotPool, bound_slot
@@ -98,15 +99,50 @@ class OpenMPBackend(Backend):
         schedule: "Schedule | str" = Schedule.STATIC,
         chunk: int | None = None,
     ) -> None:
-        self._execute(self.plan(total, schedule, chunk), body)
+        self._execute(
+            self.plan(total, schedule, chunk),
+            body,
+            schedule=str(getattr(schedule, "value", schedule)),
+        )
 
     def map_ranges(self, ranges, body: RangeBody) -> None:
-        self._execute(list(ranges), body)
+        self._execute(list(ranges), body, schedule="explicit")
 
-    def _execute(self, ranges: list[tuple[int, int]], body: RangeBody) -> None:
+    def _execute(
+        self,
+        ranges: list[tuple[int, int]],
+        body: RangeBody,
+        schedule: str = "explicit",
+    ) -> None:
         if not ranges:
             return
 
+        tracer = current_tracer()
+        if tracer.enabled:
+            # One span per chunk (tagged with the executing worker slot at
+            # span exit) nested under one region span on the caller
+            # thread.  Disabled tracing never reaches this wrapping: the
+            # hot path pays one branch, zero per chunk.
+            inner = body
+
+            def body(lo: int, hi: int, _inner=inner) -> None:
+                with tracer.span(
+                    "chunk", cat=CAT_CHUNK, backend="openmp",
+                    schedule=schedule, lo=lo, hi=hi,
+                ):
+                    _inner(lo, hi)
+
+            region = tracer.span(
+                "parallel_for", cat=CAT_REGION, backend="openmp",
+                schedule=schedule, nchunks=len(ranges),
+                nthreads=self.nthreads,
+            )
+            with region:
+                self._run_ranges(ranges, body)
+            return
+        self._run_ranges(ranges, body)
+
+    def _run_ranges(self, ranges: list[tuple[int, int]], body: RangeBody) -> None:
         def run_chunk(lo: int, hi: int) -> None:
             with self._slots.lease():
                 body(lo, hi)

@@ -45,6 +45,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.types import Schedule
+from repro.obs.tracer import CAT_CHUNK, CAT_REGION, current_tracer
 from repro.parallel.backend import Backend, RangeBody
 from repro.parallel.partition import plan_ranges
 from repro.parallel.slots import bound_slot
@@ -225,6 +226,31 @@ class RaceCheckBackend(Backend):
         self._run(list(ranges), body)
 
     def _run(self, ranges: list[tuple[int, int]], body: RangeBody) -> None:
+        # The installed tracer is inherited (it is process-global), so
+        # harness replays are as inspectable as real executions; chunk
+        # spans carry the replayed chunk index.
+        tracer = current_tracer()
+        if tracer.enabled:
+            inner = body
+
+            def body(lo: int, hi: int, _inner=inner) -> None:
+                with tracer.span(
+                    "chunk", cat=CAT_CHUNK, backend="racecheck",
+                    lo=lo, hi=hi,
+                ):
+                    _inner(lo, hi)
+
+            region = tracer.span(
+                "racecheck", cat=CAT_REGION, backend="racecheck",
+                nchunks=len(ranges), nthreads=self.nthreads,
+                checked=bool(self._watches),
+            )
+        else:
+            region = contextlib.nullcontext()
+        with region:
+            self._run_checked(ranges, body)
+
+    def _run_checked(self, ranges: list[tuple[int, int]], body: RangeBody) -> None:
         if not self._watches:
             # Nothing declared: plain sequential execution (still under a
             # worker slot so arena keying matches the executing backends).

@@ -8,6 +8,7 @@ available (important on single-core CI machines).
 from __future__ import annotations
 
 from repro.types import Schedule
+from repro.obs.tracer import CAT_CHUNK, CAT_REGION, current_tracer
 from repro.parallel.backend import Backend, RangeBody
 from repro.parallel.partition import (
     chunk_ranges,
@@ -42,5 +43,18 @@ class SequentialBackend(Backend):
             ranges = guided_chunks(total, self.chunks_hint)
         else:
             ranges = chunk_ranges(total, self.chunks_hint)
+        tracer = current_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "parallel_for", cat=CAT_REGION, backend="sequential",
+                schedule=schedule.value, nchunks=len(ranges), nthreads=1,
+            ):
+                for lo, hi in ranges:
+                    with tracer.span(
+                        "chunk", cat=CAT_CHUNK, backend="sequential",
+                        schedule=schedule.value, lo=lo, hi=hi,
+                    ):
+                        body(lo, hi)
+            return
         for lo, hi in ranges:
             body(lo, hi)

@@ -39,6 +39,7 @@ import threading
 
 import numpy as np
 
+from repro.obs.tracer import current_tracer
 from repro.parallel.slots import current_slot
 
 
@@ -106,6 +107,8 @@ class WorkspacePool:
         allocation.
         """
         key = self._key()
+        tracer = current_tracer()
+        allocated = False
         with self._lock:
             if self._consumed:
                 raise RuntimeError(
@@ -124,7 +127,13 @@ class WorkspacePool:
                             f"max_arenas={self.max_arenas}"
                         )
                     buf = np.zeros(self.shape, dtype=self.dtype)
+                    allocated = True
                 self._arenas[key] = buf
+        if tracer.enabled:
+            tracer.count("ws.acquire")
+            if allocated:
+                tracer.count("ws.arena_alloc")
+            tracer.gauge("ws.arena_bytes", buf.nbytes)
         return buf
 
     def reduce_into(self, out: np.ndarray) -> None:
@@ -143,6 +152,10 @@ class WorkspacePool:
                 )
             self._consumed = True
             bufs = list(self._arenas.values())
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.count("ws.reduce")
+            tracer.count("ws.reduce_arenas", len(bufs))
         while len(bufs) > 1:
             nxt = []
             for i in range(0, len(bufs) - 1, 2):
@@ -159,5 +172,8 @@ class WorkspacePool:
         with self._lock:
             self._consumed = False
             bufs = list(self._arenas.values())
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.count("ws.reset")
         for buf in bufs:
             buf[...] = 0

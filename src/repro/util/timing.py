@@ -16,6 +16,11 @@ from typing import Any, Callable
 class Timer:
     """Context-manager stopwatch accumulating elapsed seconds.
 
+    The timer is not re-entrant: entering an already-running timer would
+    silently overwrite its start mark and drop the first interval, so it
+    raises ``RuntimeError`` instead.  :meth:`split` reads the running
+    total without stopping the clock.
+
     >>> t = Timer()
     >>> with t:
     ...     _ = sum(range(100))
@@ -25,15 +30,29 @@ class Timer:
 
     elapsed: float = 0.0
     _t0: float = field(default=0.0, repr=False)
+    _running: bool = field(default=False, repr=False)
 
     def __enter__(self) -> "Timer":
+        if self._running:
+            raise RuntimeError("Timer is not re-entrant: already running")
+        self._running = True
         self._t0 = time.perf_counter()
         return self
 
     def __exit__(self, *exc: Any) -> None:
         self.elapsed += time.perf_counter() - self._t0
+        self._running = False
+
+    def split(self) -> float:
+        """Elapsed seconds so far, including the in-flight interval."""
+        if self._running:
+            return self.elapsed + (time.perf_counter() - self._t0)
+        return self.elapsed
 
     def reset(self) -> None:
+        """Zero the accumulated total (only while stopped)."""
+        if self._running:
+            raise RuntimeError("cannot reset a running Timer")
         self.elapsed = 0.0
 
 

@@ -34,6 +34,35 @@ class TestTimer:
         t.reset()
         assert t.elapsed == 0.0
 
+    def test_reentrant_enter_raises(self):
+        t = Timer()
+        with t:
+            with pytest.raises(RuntimeError, match="re-entrant"):
+                t.__enter__()
+        # The failed re-entry must not corrupt the accumulated total:
+        # the timer is stopped and usable again.
+        before = t.elapsed
+        with t:
+            time.sleep(0.005)
+        assert t.elapsed > before
+
+    def test_split_reads_running_clock(self):
+        t = Timer()
+        assert t.split() == 0.0
+        with t:
+            time.sleep(0.005)
+            mid = t.split()
+            assert mid >= 0.005
+            time.sleep(0.005)
+        assert t.elapsed >= mid
+        assert t.split() == t.elapsed  # stopped: split is the total
+
+    def test_reset_while_running_raises(self):
+        t = Timer()
+        with t:
+            with pytest.raises(RuntimeError, match="running"):
+                t.reset()
+
 
 class TestTimeCall:
     def test_statistics_and_result(self):
