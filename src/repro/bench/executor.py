@@ -1,0 +1,472 @@
+"""Resilient sharded suite execution on top of :class:`SuiteRunner`.
+
+``SuiteRunner.run_dataset`` is a single in-process loop: one hung or
+crashing case loses the whole sweep, and a long (tensor x kernel x
+format x platform) sweep — the paper's Figures 4-7 — cannot be split
+across processes or picked up after an interruption.  This module is the
+execution layer that fixes that:
+
+* the sweep is enumerated into a deterministic case list
+  (:func:`repro.bench.runner.enumerate_cases`), each case identified by
+  a stable fingerprint with an RNG seed derived from that fingerprint;
+* cases partition into shards by ``index % shards``, so ``N`` parallel
+  invocations cover the sweep disjointly;
+* each case runs in an isolated worker subprocess
+  (:mod:`repro.bench.worker`) under a per-case timeout; a hang is
+  killed, a crash is contained;
+* failed cases retry with exponential backoff, and cases that exhaust
+  their retries are **quarantined** with their failure log instead of
+  aborting the sweep;
+* every completed :class:`~repro.metrics.perf.PerfRecord` is journaled
+  to an append-only JSONL :class:`~repro.bench.runstore.RunStore`, so an
+  interrupted run resumes by skipping already-fingerprinted cases and
+  shard stores merge into one report.
+
+Fault injection (``ExecutorConfig.faults``) drives the resilience tests
+and the CI smoke: a matched case can be made to raise a genuine
+:class:`~repro.parallel.chaos.ChaosError` from a real
+:class:`~repro.parallel.chaos.ChaosBackend` region, hang, or hard-kill
+its worker for the first ``n`` attempts, deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+
+from repro.bench.runner import (
+    RunnerConfig,
+    SuiteRunner,
+    SweepCase,
+    TensorBundle,
+    derive_case_seed,
+    enumerate_cases,
+)
+from repro.bench.runstore import RunStore
+from repro.metrics.perf import PerfRecord
+from repro.obs.tracer import CAT_CASE, current_tracer
+
+#: Failure kinds recorded in retry/quarantine logs.
+FAIL_ERROR = "error"      # the case raised inside the worker
+FAIL_TIMEOUT = "timeout"  # the worker exceeded the per-case timeout
+FAIL_CRASH = "crash"      # the worker died without a verdict
+
+ISOLATION_MODES = ("process", "inline")
+
+
+class ExecutorError(RuntimeError):
+    """Misconfiguration of the sweep executor (not a case failure)."""
+
+
+@dataclass
+class ExecutorConfig:
+    """Resilience and sharding knobs of a sweep execution."""
+
+    shards: int = 1
+    shard_index: int = 0
+    #: Wall-clock budget per case *attempt*, subprocess start included.
+    timeout_s: float = 120.0
+    #: Re-attempts after the first failure (0 = fail straight to
+    #: quarantine).
+    retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_max_s: float = 2.0
+    #: Skip cases whose fingerprint already has a record in the store.
+    resume: bool = False
+    #: ``"process"`` runs each case in a worker subprocess (timeouts and
+    #: crashes contained); ``"inline"`` runs in-process — fast, used by
+    #: tests and trusted local sweeps, but a hang or hard crash is not
+    #: contained.
+    isolation: str = "process"
+    #: Fault-injection table: case selector -> fault spec (see
+    #: :func:`match_fault`).
+    faults: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.shards < 1:
+            raise ExecutorError(f"shards must be >= 1 (got {self.shards})")
+        if not 0 <= self.shard_index < self.shards:
+            raise ExecutorError(
+                f"shard_index {self.shard_index} out of range for "
+                f"{self.shards} shard(s)"
+            )
+        if self.isolation not in ISOLATION_MODES:
+            raise ExecutorError(
+                f"unknown isolation {self.isolation!r}; expected one of "
+                f"{ISOLATION_MODES}"
+            )
+        if self.retries < 0:
+            raise ExecutorError(f"retries must be >= 0 (got {self.retries})")
+
+
+def match_fault(case: SweepCase, faults: "dict | None") -> dict:
+    """The fault spec applying to ``case``, or ``{}``.
+
+    Selectors, most specific first: the case fingerprint, then
+    ``"tensor/kernel/fmt"``, then the tensor name, then ``"*"``.  A fault
+    spec is a dict with any of ``fail_attempts`` (raise a ChaosError via
+    a real ChaosBackend for attempts < n), ``hang_attempts``/``hang_s``
+    (sleep — process isolation converts this into a timeout kill), and
+    ``kill_attempts`` (hard ``os._exit`` of the worker; process isolation
+    only).
+    """
+    if not faults:
+        return {}
+    for key in (
+        case.fingerprint,
+        f"{case.tensor}/{case.kernel}/{case.fmt}",
+        case.tensor,
+        "*",
+    ):
+        spec = faults.get(key)
+        if spec is not None:
+            return dict(spec)
+    return {}
+
+
+def materialize_tensor(spec):
+    """Build the case's COO tensor from its self-describing spec.
+
+    Spec kinds: ``synthetic`` (Table 3 registry key), ``real`` (Table 2
+    surrogate key), ``file`` (``.tns``/``.npz`` path), ``random``
+    (uniform random shape/nnz/seed).
+    """
+    spec = dict(spec)
+    kind = spec.get("kind")
+    if kind == "synthetic":
+        from repro.generate.registry import get_synthetic
+
+        return get_synthetic(spec["key"]).generate(
+            scale=float(spec.get("scale", 1000.0)), seed=int(spec.get("seed", 0))
+        )
+    if kind == "real":
+        from repro.datasets.surrogate import make_surrogate
+
+        return make_surrogate(
+            spec["key"], scale=float(spec.get("scale", 1000.0)),
+            seed=int(spec.get("seed", 0)),
+        )
+    if kind == "file":
+        from repro.sptensor import load_npz, read_tns
+
+        path = spec["path"]
+        return load_npz(path) if str(path).endswith(".npz") else read_tns(path)
+    if kind == "random":
+        from repro.sptensor.coo import COOTensor
+
+        return COOTensor.random(
+            tuple(int(s) for s in spec["shape"]),
+            int(spec["nnz"]),
+            rng=int(spec.get("seed", 0)),
+        )
+    raise ExecutorError(f"unknown tensor spec kind {kind!r}")
+
+
+def _inject_chaos_failure(case: SweepCase, attempt: int) -> None:
+    """Raise a genuine ChaosError from a real chaos-backend region.
+
+    The chaos seed mixes in the attempt number, mirroring how a real
+    transient fault differs between attempts; the *decision* to fail is
+    the fault spec's, so a flaky case deterministically fails its first
+    ``fail_attempts`` attempts and then succeeds.
+    """
+    from repro.parallel import ChaosBackend, OpenMPBackend
+
+    backend = ChaosBackend(
+        OpenMPBackend(nthreads=2),
+        seed=derive_case_seed(case.case_seed, "chaos", attempt),
+        failure_rate=1.0,
+    )
+    try:
+        backend.parallel_for(4, lambda lo, hi: None)
+    finally:
+        backend.shutdown()
+    raise ExecutorError("chaos injection with failure_rate=1.0 did not raise")
+
+
+def execute_case(
+    case: SweepCase, attempt: int = 0, faults: "dict | None" = None
+) -> PerfRecord:
+    """Run one case to a :class:`PerfRecord` (the worker's core).
+
+    Raises whatever the kernel raises — callers translate exceptions
+    into retry/quarantine decisions.  Injected ``fail_attempts`` faults
+    raise :class:`~repro.parallel.chaos.ChaosError` here, through a real
+    chaos backend, so the retry path is exercised end to end.
+    """
+    fault = match_fault(case, faults)
+    if attempt < int(fault.get("fail_attempts", 0)):
+        _inject_chaos_failure(case, attempt)
+    from repro.roofline.platform import get_platform
+
+    config = case.runner_config()
+    runner = SuiteRunner(get_platform(case.platform), config)
+    tensor = materialize_tensor(case.tensor_spec)
+    bundle = TensorBundle.prepare(case.tensor, tensor, config)
+    return runner.run_kernel(bundle, case.kernel, case.fmt)
+
+
+@dataclass
+class ExecutorReport:
+    """What one :meth:`SuiteExecutor.run` did, by fingerprint."""
+
+    shards: int = 1
+    shard_index: int = 0
+    completed: list = field(default_factory=list)
+    skipped: list = field(default_factory=list)
+    quarantined: list = field(default_factory=list)
+    #: fingerprint -> failure log of quarantined cases.
+    failures: dict = field(default_factory=dict)
+    retries: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+
+    @property
+    def total(self) -> int:
+        return len(self.completed) + len(self.skipped) + len(self.quarantined)
+
+    def render(self) -> str:
+        lines = [
+            f"shard {self.shard_index + 1}/{self.shards}: "
+            f"{len(self.completed)} completed, {len(self.skipped)} skipped "
+            f"(resume), {len(self.quarantined)} quarantined, "
+            f"{self.retries} retries, {self.timeouts} timeouts, "
+            f"{self.crashes} crashes"
+        ]
+        for fp in self.quarantined:
+            log = self.failures.get(fp, [])
+            detail = "; ".join(
+                f"attempt {f['attempt']}: [{f['kind']}] {f['detail']}" for f in log
+            )
+            lines.append(f"  quarantined {fp}: {detail}")
+        return "\n".join(lines)
+
+
+class SuiteExecutor:
+    """Runs a shard of an enumerated sweep against a run store."""
+
+    def __init__(
+        self,
+        cases: "list[SweepCase]",
+        store: RunStore,
+        config: "ExecutorConfig | None" = None,
+        sleep=time.sleep,
+    ):
+        self.cases = list(cases)
+        self.store = store
+        self.config = config or ExecutorConfig()
+        self._sleep = sleep
+
+    # ------------------------------------------------------------------ #
+    def shard_cases(self) -> "list[SweepCase]":
+        """This shard's slice of the deterministic case list."""
+        cfg = self.config
+        return [
+            c for i, c in enumerate(self.cases) if i % cfg.shards == cfg.shard_index
+        ]
+
+    def run(self) -> ExecutorReport:
+        """Execute the shard: skip, attempt/retry, journal, quarantine.
+
+        A failing case never aborts the sweep — it retries with
+        exponential backoff and lands in quarantine (journaled with its
+        failure log) once retries are exhausted.  ``KeyboardInterrupt``
+        does propagate; the journal keeps every case completed so far,
+        which is exactly what ``resume`` picks up.
+        """
+        cfg = self.config
+        tracer = current_tracer()
+        done = (
+            self.store.load().completed()
+            if cfg.resume and self.store.exists()
+            else set()
+        )
+        report = ExecutorReport(shards=cfg.shards, shard_index=cfg.shard_index)
+        for case in self.shard_cases():
+            fp = case.fingerprint
+            if fp in done:
+                report.skipped.append(fp)
+                tracer.count("exec.skipped")
+                continue
+            failures = []
+            for attempt in range(cfg.retries + 1):
+                t0 = time.perf_counter()
+                with tracer.span(
+                    "case", cat=CAT_CASE, fingerprint=fp, tensor=case.tensor,
+                    kernel=case.kernel, fmt=case.fmt, platform=case.platform,
+                    attempt=attempt, isolation=cfg.isolation,
+                ):
+                    record, failure = self._attempt(case, attempt)
+                if record is not None:
+                    self.store.append_record(
+                        case, record, attempt, time.perf_counter() - t0
+                    )
+                    report.completed.append(fp)
+                    tracer.count("exec.completed")
+                    break
+                failures.append(failure)
+                if failure["kind"] == FAIL_TIMEOUT:
+                    report.timeouts += 1
+                    tracer.count("exec.timeouts")
+                elif failure["kind"] == FAIL_CRASH:
+                    report.crashes += 1
+                    tracer.count("exec.crashes")
+                if attempt < cfg.retries:
+                    report.retries += 1
+                    tracer.count("exec.retries")
+                    self._sleep(self.backoff_s(attempt))
+            else:
+                self.store.append_quarantine(case, failures)
+                report.quarantined.append(fp)
+                report.failures[fp] = failures
+                tracer.count("exec.quarantined")
+        return report
+
+    def backoff_s(self, attempt: int) -> float:
+        """Exponential backoff before re-attempt ``attempt + 1``."""
+        cfg = self.config
+        return min(cfg.backoff_max_s, cfg.backoff_base_s * (2.0 ** attempt))
+
+    # ------------------------------------------------------------------ #
+    def _attempt(self, case: SweepCase, attempt: int):
+        """One attempt -> ``(record, None)`` or ``(None, failure_dict)``."""
+        if self.config.isolation == "inline":
+            return self._inline_attempt(case, attempt)
+        return self._process_attempt(case, attempt)
+
+    def _inline_attempt(self, case: SweepCase, attempt: int):
+        try:
+            return execute_case(case, attempt, self.config.faults), None
+        except Exception as exc:  # noqa: BLE001 - converted into a failure
+            return None, {
+                "kind": FAIL_ERROR,
+                "attempt": attempt,
+                "detail": f"{type(exc).__name__}: {exc}",
+            }
+
+    def _process_attempt(self, case: SweepCase, attempt: int):
+        import repro
+
+        cfg = self.config
+        with tempfile.TemporaryDirectory(prefix="repro-sweep-") as tmp:
+            case_path = os.path.join(tmp, "case.json")
+            verdict_path = os.path.join(tmp, "verdict.json")
+            with open(case_path, "w") as f:
+                json.dump(
+                    {
+                        "case": case.to_dict(),
+                        "attempt": attempt,
+                        "faults": cfg.faults,
+                    },
+                    f,
+                )
+            # The worker must import this very repro package regardless of
+            # how the parent found it.
+            pkg_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+            env = dict(os.environ)
+            env["PYTHONPATH"] = pkg_root + (
+                os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+            )
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro.bench.worker", case_path, verdict_path],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                env=env,
+                text=True,
+            )
+            try:
+                _, stderr = proc.communicate(timeout=cfg.timeout_s)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.communicate()
+                return None, {
+                    "kind": FAIL_TIMEOUT,
+                    "attempt": attempt,
+                    "detail": f"worker exceeded {cfg.timeout_s:g}s; killed",
+                }
+            if proc.returncode != 0 or not os.path.exists(verdict_path):
+                tail = (stderr or "").strip()[-400:]
+                return None, {
+                    "kind": FAIL_CRASH,
+                    "attempt": attempt,
+                    "detail": f"worker exit {proc.returncode} without verdict"
+                    + (f": {tail}" if tail else ""),
+                }
+            with open(verdict_path) as f:
+                verdict = json.load(f)
+        if verdict.get("ok"):
+            return PerfRecord.from_dict(verdict["record"]), None
+        return None, {
+            "kind": FAIL_ERROR,
+            "attempt": attempt,
+            "detail": str(verdict.get("error", "worker reported failure")),
+        }
+
+
+# --------------------------------------------------------------------- #
+# Sweep assembly helpers (CLI entry points)
+# --------------------------------------------------------------------- #
+def dataset_case_specs(
+    dataset: str = "both",
+    scale: float = 1000.0,
+    seed: int = 0,
+    keys=None,
+) -> dict:
+    """Self-describing tensor specs for the paper datasets.
+
+    Mirrors :func:`repro.bench.experiments._dataset` but *describes* the
+    tensors instead of materializing them, so workers regenerate each one
+    on demand.  Generation seeds derive from ``(seed, registry key)``,
+    never from enumeration position.
+    """
+    if dataset not in ("real", "synthetic", "both"):
+        raise ExecutorError(f"unknown dataset kind {dataset!r}")
+    wanted = set(keys) if keys else None
+    specs: dict = {}
+    if dataset in ("real", "both"):
+        from repro.datasets.registry import REAL_TENSORS
+
+        for info in REAL_TENSORS:
+            if wanted and info.key not in wanted and info.name not in wanted:
+                continue
+            specs[info.name] = {
+                "kind": "real",
+                "key": info.key,
+                "scale": scale,
+                "seed": derive_case_seed(seed, "tensor", info.key),
+            }
+    if dataset in ("synthetic", "both"):
+        from repro.generate.registry import SYNTHETIC_TENSORS
+
+        for cfg in SYNTHETIC_TENSORS:
+            if wanted and cfg.key not in wanted and cfg.name not in wanted:
+                continue
+            specs[cfg.name] = {
+                "kind": "synthetic",
+                "key": cfg.name,
+                "scale": scale,
+                "seed": derive_case_seed(seed, "tensor", cfg.key),
+            }
+    if wanted and not specs:
+        raise ExecutorError(f"no tensors matched keys {sorted(wanted)}")
+    return specs
+
+
+def build_sweep_cases(
+    dataset: str = "both",
+    scale: float = 1000.0,
+    seed: int = 0,
+    keys=None,
+    platforms=("Bluesky",),
+    config: "RunnerConfig | None" = None,
+) -> "list[SweepCase]":
+    """Enumerate the full sweep for the CLI (and the CI smoke)."""
+    if config is None:
+        config = RunnerConfig(measure_host=False, cache_scale=scale, seed=seed)
+    specs = dataset_case_specs(dataset, scale=scale, seed=seed, keys=keys)
+    return enumerate_cases(specs, config, platforms=platforms)

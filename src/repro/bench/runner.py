@@ -17,6 +17,8 @@ operands sharing a pattern (Sec. 5.1.2); the runner follows that.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -58,6 +60,20 @@ from repro.util.timing import time_call
 
 ALL_KERNELS = (Kernel.TEW, Kernel.TS, Kernel.TTV, Kernel.TTM, Kernel.MTTKRP)
 BENCH_FORMATS = (Format.COO, Format.HICOO)
+
+
+def derive_case_seed(base_seed: int, *parts) -> int:
+    """A stable 63-bit seed from ``base_seed`` and string-able ``parts``.
+
+    Every per-case RNG in the sweep derives its seed this way, so the
+    random inputs of a case depend only on *what the case is* — never on
+    how many cases ran before it from a shared RNG.  That is the property
+    that makes a sharded or resumed sweep produce records bit-identical
+    to one uninterrupted in-process run.
+    """
+    text = "\x1f".join([str(int(base_seed))] + [str(p) for p in parts])
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") & ((1 << 63) - 1)
 
 
 @dataclass
@@ -103,7 +119,10 @@ class TensorBundle:
         tensor: COOTensor,
         config: RunnerConfig,
     ) -> "TensorBundle":
-        rng = rng_from_seed(config.seed)
+        # Vectors/matrices are seeded from (config.seed, tensor name), not
+        # from a shared RNG, so a bundle's random operands are identical
+        # whether the tensor is first, last, or alone in a sweep.
+        rng = rng_from_seed(derive_case_seed(config.seed, "bundle", name))
         coo = tensor.copy().sort()
         hicoo = HiCOOTensor.from_coo(coo, config.block_size)
         feats = extract_features(coo, name, config.block_size, hicoo)
@@ -115,6 +134,142 @@ class TensorBundle:
             for s in coo.shape
         ]
         return cls(name, coo, hicoo, feats, vectors, matrices)
+
+
+@dataclass(frozen=True)
+class SweepCase:
+    """One (tensor, kernel, format, platform) cell of a sweep.
+
+    A case is fully self-describing: ``tensor_spec`` says how to
+    *materialize* the tensor (registry key / file / random parameters),
+    and the measurement knobs are copied out of the
+    :class:`RunnerConfig`, so a worker subprocess can reconstruct and run
+    the case from its JSON form alone.  Identity is the
+    :attr:`fingerprint` — a stable hash of every field — and the case's
+    RNG seed derives from that fingerprint, never from enumeration
+    order.
+    """
+
+    tensor: str
+    kernel: str
+    fmt: str
+    platform: str
+    #: Canonical ``(key, value)`` pairs describing tensor materialization
+    #: (see :func:`repro.bench.executor.materialize_tensor`).
+    tensor_spec: tuple
+    rank: int = DEFAULT_RANK
+    block_size: int = DEFAULT_BLOCK_SIZE
+    repeats: int = 3
+    warmup: int = 1
+    measure_host: bool = False
+    backend: "str | None" = None
+    base_seed: int = 0
+    cache_scale: float = 1.0
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable 16-hex-digit identity of this case."""
+        payload = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    @property
+    def case_seed(self) -> int:
+        """The case's RNG seed, derived from the fingerprint."""
+        return derive_case_seed(0, "case", self.fingerprint)
+
+    def to_dict(self) -> dict:
+        return {
+            "tensor": self.tensor,
+            "kernel": self.kernel,
+            "fmt": self.fmt,
+            "platform": self.platform,
+            "tensor_spec": [list(kv) for kv in self.tensor_spec],
+            "rank": self.rank,
+            "block_size": self.block_size,
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "measure_host": self.measure_host,
+            "backend": self.backend,
+            "base_seed": self.base_seed,
+            "cache_scale": self.cache_scale,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SweepCase":
+        d = dict(d)
+        # Canonicalize so a JSON round-trip (lists for tuples) compares
+        # and fingerprints identically to the original case.
+        d["tensor_spec"] = canonical_tensor_spec(d["tensor_spec"])
+        return cls(**d)
+
+    def runner_config(self) -> RunnerConfig:
+        """The :class:`RunnerConfig` reproducing this case's measurement."""
+        return RunnerConfig(
+            rank=self.rank,
+            block_size=self.block_size,
+            repeats=self.repeats,
+            warmup=self.warmup,
+            measure_host=self.measure_host,
+            backend=self.backend,
+            kernels=(Kernel.coerce(self.kernel),),
+            formats=(Format.coerce(self.fmt),),
+            seed=self.base_seed,
+            cache_scale=self.cache_scale,
+        )
+
+
+def canonical_tensor_spec(spec: "dict | tuple") -> tuple:
+    """Normalize a tensor spec to sorted, hashable ``(key, value)`` pairs."""
+    items = dict(spec).items()
+    out = []
+    for k, v in sorted(items):
+        if isinstance(v, (list, tuple)):
+            v = tuple(int(x) for x in v)
+        out.append((str(k), v))
+    return tuple(out)
+
+
+def enumerate_cases(
+    tensor_specs: "dict[str, dict | tuple]",
+    config: "RunnerConfig | None" = None,
+    platforms: Sequence[str] = ("Bluesky",),
+) -> "list[SweepCase]":
+    """The deterministic case list of a sweep.
+
+    Order is platform-major, then tensor name (sorted — independent of
+    the mapping's insertion order), then the config's kernel and format
+    order.  Two calls with equal inputs produce the identical list, which
+    is what shard partitioning (``index % shards``) relies on.
+    """
+    config = config or RunnerConfig()
+    cases = []
+    for platform in platforms:
+        for name in sorted(tensor_specs):
+            spec = canonical_tensor_spec(tensor_specs[name])
+            for kernel in config.kernels:
+                for fmt in config.formats:
+                    cases.append(
+                        SweepCase(
+                            tensor=name,
+                            kernel=Kernel.coerce(kernel).value,
+                            fmt=Format.coerce(fmt).value,
+                            platform=platform,
+                            tensor_spec=spec,
+                            rank=config.rank,
+                            block_size=config.block_size,
+                            repeats=config.repeats,
+                            warmup=config.warmup,
+                            measure_host=config.measure_host,
+                            backend=(
+                                config.backend
+                                if isinstance(config.backend, (str, type(None)))
+                                else config.backend.name
+                            ),
+                            base_seed=config.seed,
+                            cache_scale=config.cache_scale,
+                        )
+                    )
+    return cases
 
 
 class SuiteRunner:

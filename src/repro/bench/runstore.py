@@ -1,0 +1,218 @@
+"""Append-only JSONL run store for resumable, shardable sweeps.
+
+A *run store* is the durable journal of a sweep execution: every
+completed case appends one ``record`` line, every case that exhausted
+its retries appends one ``quarantine`` line.  Lines are self-contained
+JSON objects, flushed as they are written, so
+
+* an interrupted run loses at most the line being written — a truncated
+  final line is tolerated on load and simply re-run on resume;
+* ``N`` shards journal to ``N`` independent stores that merge into one
+  (:func:`merge_stores`), with fingerprints deduplicating overlap;
+* resuming is "load the store, skip every fingerprint that already has a
+  record" (:meth:`RunState.completed`).
+
+The line schema (``STORE_VERSION``) is pinned by the golden-schema
+tests; consumers parse stores from disk, so drift must fail CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.metrics.perf import PerfRecord
+
+#: Bumped on any backwards-incompatible line-schema change.
+STORE_VERSION = 1
+
+RECORD_KIND = "record"
+QUARANTINE_KIND = "quarantine"
+
+
+class StoreError(ValueError):
+    """A run store line that cannot be interpreted (not mere truncation)."""
+
+
+@dataclass
+class RunState:
+    """The resolved contents of one (or several merged) run stores.
+
+    ``records`` maps fingerprint -> the latest *record* line payload;
+    ``quarantined`` maps fingerprint -> the latest quarantine payload for
+    cases that have **no** successful record (a later success supersedes
+    an earlier quarantine, which is how a resumed run clears the
+    quarantine of a previously failing case).
+    """
+
+    records: dict = field(default_factory=dict)
+    quarantined: dict = field(default_factory=dict)
+    truncated_lines: int = 0
+
+    def completed(self) -> set:
+        """Fingerprints that need no re-run."""
+        return set(self.records)
+
+    def perf_records(self, case_order=None) -> "list[PerfRecord]":
+        """The stored measurements as :class:`PerfRecord` objects.
+
+        ``case_order`` (an iterable of fingerprints, e.g. from
+        :func:`repro.bench.runner.enumerate_cases`) fixes the output
+        order; unknown fingerprints are skipped and leftovers appended in
+        journal order, so a merged sharded store renders case-for-case
+        like the un-sharded run.
+        """
+        lines = dict(self.records)
+        out = []
+        for fp in case_order or ():
+            line = lines.pop(fp, None)
+            if line is not None:
+                out.append(PerfRecord.from_dict(line["record"]))
+        out.extend(PerfRecord.from_dict(line["record"]) for line in lines.values())
+        return out
+
+    def absorb(self, payload: dict) -> None:
+        """Fold one journal line into the state (later lines win)."""
+        fp = payload["fingerprint"]
+        kind = payload["kind"]
+        if kind == RECORD_KIND:
+            self.records[fp] = payload
+            self.quarantined.pop(fp, None)
+        elif kind == QUARANTINE_KIND:
+            if fp not in self.records:
+                self.quarantined[fp] = payload
+        else:
+            raise StoreError(f"unknown run-store line kind {kind!r}")
+
+
+class RunStore:
+    """One append-only JSONL journal file."""
+
+    def __init__(self, path):
+        self.path = os.fspath(path)
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    # -- writing ------------------------------------------------------- #
+    def _repair_tail(self) -> None:
+        """Drop a torn final line left by an interrupted writer.
+
+        Appending after a torn line would weld the new line onto it and
+        turn tolerable truncation into mid-file corruption, so the tail
+        is cut back to the last complete line before any append.
+        """
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "rb+") as f:
+            data = f.read()
+            if not data or data.endswith(b"\n"):
+                return
+            f.truncate(data.rfind(b"\n") + 1)
+
+    def _append(self, payload: dict) -> None:
+        line = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+        self._repair_tail()
+        with open(self.path, "a") as f:
+            f.write(line + "\n")
+            f.flush()
+            os.fsync(f.fileno())
+
+    def append_record(
+        self, case, record: PerfRecord, attempt: int, elapsed_s: float
+    ) -> None:
+        """Journal one completed case."""
+        self._append(
+            {
+                "v": STORE_VERSION,
+                "kind": RECORD_KIND,
+                "fingerprint": case.fingerprint,
+                "seed": case.case_seed,
+                "case": case.to_dict(),
+                "attempt": int(attempt),
+                "elapsed_s": float(elapsed_s),
+                "record": record.to_dict(),
+            }
+        )
+
+    def append_quarantine(self, case, failures) -> None:
+        """Journal a case that exhausted its retries, with its failure log."""
+        self._append(
+            {
+                "v": STORE_VERSION,
+                "kind": QUARANTINE_KIND,
+                "fingerprint": case.fingerprint,
+                "seed": case.case_seed,
+                "case": case.to_dict(),
+                "failures": [dict(f) for f in failures],
+            }
+        )
+
+    # -- reading ------------------------------------------------------- #
+    def load(self) -> RunState:
+        """Fold the journal into a :class:`RunState`.
+
+        A truncated (interrupted-write) *final* line is tolerated and
+        counted; a malformed line anywhere else is corruption and raises
+        :class:`StoreError`.
+        """
+        state = RunState()
+        if not self.exists():
+            return state
+        with open(self.path) as f:
+            lines = f.read().split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                if i == len(lines) - 1:
+                    state.truncated_lines += 1
+                    continue
+                raise StoreError(
+                    f"{self.path}:{i + 1}: corrupt run-store line"
+                ) from None
+            if payload.get("v") != STORE_VERSION:
+                raise StoreError(
+                    f"{self.path}:{i + 1}: store version "
+                    f"{payload.get('v')!r} != {STORE_VERSION}"
+                )
+            state.absorb(payload)
+        return state
+
+
+def merge_stores(paths, out_path=None) -> RunState:
+    """Merge shard stores into one state (optionally journaled to disk).
+
+    Record lines win over quarantine lines for the same fingerprint, and
+    among records the first store listed wins (shards are disjoint, so
+    duplicates only arise from overlapping resumed runs — which carry
+    identical records anyway, records being deterministic per
+    fingerprint).
+    """
+    merged = RunState()
+    for path in paths:
+        state = RunStore(path).load()
+        for fp, line in state.records.items():
+            merged.records.setdefault(fp, line)
+            merged.quarantined.pop(fp, None)
+        for fp, line in state.quarantined.items():
+            if fp not in merged.records:
+                merged.quarantined.setdefault(fp, line)
+        merged.truncated_lines += state.truncated_lines
+    if out_path is not None:
+        out = RunStore(out_path)
+        if os.path.exists(out.path):
+            os.remove(out.path)
+        os.makedirs(os.path.dirname(out.path) or ".", exist_ok=True)
+        with open(out.path, "w") as f:
+            for line in list(merged.records.values()) + list(
+                merged.quarantined.values()
+            ):
+                f.write(json.dumps(line, sort_keys=True, separators=(",", ":")) + "\n")
+    return merged

@@ -1,0 +1,78 @@
+"""Isolated worker subprocess: run one sweep case, write a JSON verdict.
+
+Invoked by the sweep executor as
+
+    python -m repro.bench.worker CASE_JSON VERDICT_JSON
+
+where ``CASE_JSON`` holds ``{"case": <SweepCase.to_dict()>, "attempt":
+n, "faults": {...}}``.  The worker writes a verdict —
+``{"ok": true, "record": ...}`` or ``{"ok": false, "error": ...}`` —
+atomically (temp file + rename) and exits 0 in both cases: a *handled*
+kernel failure is data, not a crash.  Only a hard death (injected
+``kill_attempts`` fault, OOM, segfault) leaves no verdict, which the
+parent classifies as a crash; an injected hang simply never finishes and
+is killed by the parent's per-case timeout.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 2:
+        print(
+            "usage: python -m repro.bench.worker CASE_JSON VERDICT_JSON",
+            file=sys.stderr,
+        )
+        return 2
+    case_path, verdict_path = argv
+    with open(case_path) as f:
+        payload = json.load(f)
+
+    from repro.bench.executor import execute_case, match_fault
+    from repro.bench.runner import SweepCase
+
+    case = SweepCase.from_dict(payload["case"])
+    attempt = int(payload.get("attempt", 0))
+    faults = payload.get("faults") or {}
+    fault = match_fault(case, faults)
+    if attempt < int(fault.get("kill_attempts", 0)):
+        # Simulated hard worker death: no verdict, nonzero exit, no
+        # cleanup — exactly what the parent's crash path must absorb.
+        os._exit(13)
+    if attempt < int(fault.get("hang_attempts", 0)):
+        # Simulated hang; the parent kills us at its per-case timeout.
+        time.sleep(float(fault.get("hang_s", 3600.0)))
+
+    t0 = time.perf_counter()
+    try:
+        record = execute_case(case, attempt=attempt, faults=faults)
+    except Exception as exc:  # noqa: BLE001 - the verdict carries it
+        verdict = {
+            "ok": False,
+            "fingerprint": case.fingerprint,
+            "error": f"{type(exc).__name__}: {exc}",
+            "elapsed_s": time.perf_counter() - t0,
+        }
+    else:
+        verdict = {
+            "ok": True,
+            "fingerprint": case.fingerprint,
+            "seed": case.case_seed,
+            "record": record.to_dict(),
+            "elapsed_s": time.perf_counter() - t0,
+        }
+    tmp = verdict_path + ".tmp"
+    with open(tmp, "w") as f:
+        json.dump(verdict, f)
+    os.replace(tmp, verdict_path)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry
+    sys.exit(main())

@@ -11,6 +11,10 @@ Subcommands
                 print format statistics (COO/HiCOO sizes, block stats).
 ``trace``     — run one kernel under the span tracer and export a Chrome
                 trace plus per-worker busy-time / load-imbalance analytics.
+``sweep``     — resilient sharded suite sweep: isolated worker
+                subprocess per case, per-case timeout, retry with
+                backoff, quarantine, and an append-only JSONL run store
+                supporting ``--resume`` and ``--merge``.
 """
 
 from __future__ import annotations
@@ -112,6 +116,98 @@ def _cmd_bench(args) -> int:
         save_chrome(trace, args.trace)
         print(f"saved Chrome trace ({len(trace.events)} events) -> {args.trace}")
     return 0
+
+
+def _cmd_sweep(args) -> int:
+    import json
+
+    from repro.bench import (
+        ExecutorConfig,
+        RunnerConfig,
+        RunStore,
+        SuiteExecutor,
+        build_sweep_cases,
+        merge_stores,
+    )
+    from repro.metrics.perf import PERF_HEADERS
+    from repro.util.tables import render_table
+
+    def show_state(state, title):
+        records = state.perf_records()
+        if records:
+            rows = [r.as_row() for r in records]
+            print(render_table(PERF_HEADERS, rows, title=title))
+        else:
+            print(f"{title}: no records")
+        for fp, line in sorted(state.quarantined.items()):
+            case = line["case"]
+            print(
+                f"  quarantined {fp} "
+                f"({case['tensor']}/{case['kernel']}/{case['fmt']}"
+                f"@{case['platform']}): "
+                + "; ".join(f["detail"] for f in line["failures"])
+            )
+        if state.truncated_lines:
+            print(f"  note: {state.truncated_lines} truncated line(s) ignored")
+
+    if args.merge:
+        state = merge_stores(args.merge, out_path=args.store)
+        print(
+            f"merged {len(args.merge)} store(s): {len(state.records)} records, "
+            f"{len(state.quarantined)} quarantined -> {args.store}"
+        )
+        show_state(state, "merged sweep")
+        return 1 if (args.strict and state.quarantined) else 0
+
+    store = RunStore(args.store)
+    if args.report:
+        state = store.load()
+        show_state(state, f"sweep store {args.store}")
+        return 1 if (args.strict and state.quarantined) else 0
+
+    config = RunnerConfig(
+        rank=args.rank,
+        measure_host=args.measure_host,
+        cache_scale=args.scale,
+        seed=args.seed,
+    )
+    cases = build_sweep_cases(
+        dataset=args.dataset,
+        scale=args.scale,
+        seed=args.seed,
+        keys=args.tensors,
+        platforms=args.platforms,
+        config=config,
+    )
+    faults = {}
+    if args.faults:
+        if args.faults.lstrip().startswith("{"):
+            faults = json.loads(args.faults)
+        else:
+            with open(args.faults) as f:
+                faults = json.load(f)
+    executor = SuiteExecutor(
+        cases,
+        store,
+        ExecutorConfig(
+            shards=args.shards,
+            shard_index=args.shard_index,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            resume=args.resume,
+            isolation=args.isolation,
+            faults=faults,
+        ),
+    )
+    shard = executor.shard_cases()
+    print(
+        f"sweep: {len(cases)} case(s) enumerated, "
+        f"shard {args.shard_index + 1}/{args.shards} covers {len(shard)}"
+    )
+    report = executor.run()
+    print(report.render())
+    print(f"run store -> {store.path}")
+    return 1 if (args.strict and report.quarantined) else 0
 
 
 def _cmd_convert(args) -> int:
@@ -387,6 +483,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a folded-stack flame summary",
     )
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="resilient sharded suite sweep: per-case worker subprocesses, "
+        "timeout, retry/quarantine, JSONL checkpoint store with resume/merge",
+    )
+    p_sweep.add_argument(
+        "--dataset", choices=["real", "synthetic", "both"], default="synthetic"
+    )
+    p_sweep.add_argument(
+        "--tensors", nargs="*",
+        help="restrict to these registry keys/names (r1.., s1.., vast, irrS, ...)",
+    )
+    p_sweep.add_argument("--platforms", nargs="+", default=["Bluesky"])
+    p_sweep.add_argument("--scale", type=float, default=1000.0)
+    p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument("--rank", type=int, default=16)
+    p_sweep.add_argument(
+        "--shards", type=int, default=1,
+        help="partition the case list into this many disjoint shards",
+    )
+    p_sweep.add_argument(
+        "--shard-index", type=int, default=0,
+        help="which shard this invocation runs (0-based)",
+    )
+    p_sweep.add_argument(
+        "--timeout", type=float, default=120.0,
+        help="per-case wall-clock budget in seconds (worker is killed past it)",
+    )
+    p_sweep.add_argument(
+        "--retries", type=int, default=2,
+        help="re-attempts (exponential backoff) before quarantining a case",
+    )
+    p_sweep.add_argument(
+        "--resume", action="store_true",
+        help="skip cases already journaled in --store",
+    )
+    p_sweep.add_argument(
+        "--store", default="results/sweep.jsonl",
+        help="append-only JSONL run store (checkpoint journal)",
+    )
+    p_sweep.add_argument(
+        "--isolation", choices=["process", "inline"], default="process",
+        help="process = worker subprocess per case (default); inline = in-process",
+    )
+    p_sweep.add_argument(
+        "--faults", metavar="JSON",
+        help="fault-injection table (inline JSON object or a path to one) "
+        "for resilience testing/CI smoke",
+    )
+    p_sweep.add_argument(
+        "--measure-host", action="store_true",
+        help="also measure host wall-clock (off by default: nondeterministic "
+        "timings break shard/resume record equality)",
+    )
+    p_sweep.add_argument(
+        "--merge", nargs="+", metavar="STORE",
+        help="merge these shard stores into --store and print the report",
+    )
+    p_sweep.add_argument(
+        "--report", action="store_true",
+        help="print the report of an existing --store without running",
+    )
+    p_sweep.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 if any case is quarantined",
+    )
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     p_conv = sub.add_parser("convert", help="convert/inspect a tensor file")
     p_conv.add_argument("input", help=".tns or .npz file")

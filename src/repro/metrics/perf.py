@@ -8,7 +8,30 @@ when a working set is served from cache (Observation 2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+
+
+def _json_safe(value):
+    """Coerce numpy scalars / containers to plain JSON-stable Python.
+
+    ``PerfRecord.extra`` accumulates whatever the kernels and cost models
+    attach (numpy floats, bools, nested dicts); the run store journals
+    records as JSON, so everything must round-trip ``json.dumps`` →
+    ``json.loads`` without loss or type drift.
+    """
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return float(value)
+    # numpy scalars expose item(); anything else degrades to str.
+    item = getattr(value, "item", None)
+    if callable(item):
+        return _json_safe(item())
+    return str(value)
 
 
 def gflops(flops: float, seconds: float) -> float:
@@ -41,6 +64,40 @@ class PerfRecord:
     host_seconds: float = 0.0  # measured wall-clock on the executing host
     host_gflops: float = 0.0
     extra: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict; ``from_dict`` inverts it exactly.
+
+        The pair is the run store's wire format: a record journaled as a
+        JSONL line must deserialize to an *equal* record, which the
+        golden-schema tests pin (floats survive JSON round-trips exactly;
+        numpy values in ``extra`` are coerced up front).
+        """
+        return {
+            "tensor": self.tensor,
+            "kernel": self.kernel,
+            "fmt": self.fmt,
+            "platform": self.platform,
+            "flops": float(self.flops),
+            "seconds": float(self.seconds),
+            "gflops": float(self.gflops),
+            "bound_gflops": float(self.bound_gflops),
+            "efficiency": float(self.efficiency),
+            "host_seconds": float(self.host_seconds),
+            "host_gflops": float(self.host_gflops),
+            "extra": _json_safe(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "PerfRecord":
+        known = {f.name for f in fields(cls)}
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(
+                f"unknown PerfRecord fields {sorted(unknown)} "
+                "(run-store schema drift?)"
+            )
+        return cls(**d)
 
     def as_row(self) -> list:
         return [

@@ -21,6 +21,7 @@ from repro.obs.export import (
     write_jsonl,
 )
 from repro.obs.tracer import (
+    CAT_CASE,
     CAT_CHUNK,
     CAT_GPU,
     CAT_KERNEL,
@@ -41,6 +42,7 @@ __all__ = [
     "Trace",
     "SpanEvent",
     "CAT_REGION",
+    "CAT_CASE",
     "CAT_CHUNK",
     "CAT_KERNEL",
     "CAT_GPU",

@@ -54,6 +54,7 @@ CAT_REGION = "region"   # one parallel_for / map_ranges loop
 CAT_CHUNK = "chunk"     # one chunk executed by one worker slot
 CAT_KERNEL = "kernel"   # one kernel invocation (mttkrp, ttv, ...)
 CAT_GPU = "gpu"         # one simulated GPU launch
+CAT_CASE = "case"       # one sweep-executor case attempt
 
 
 @dataclass

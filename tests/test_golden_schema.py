@@ -1,0 +1,255 @@
+"""Golden-schema regression tests for on-disk/wire formats.
+
+External consumers parse run-store journals and exported Chrome traces
+from disk, so their schemas are contracts: these tests pin the exact key
+sets and round-trip behaviour.  If one fails because you changed a
+schema on purpose, bump the relevant version constant and update the
+goldens here in the same commit.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench import RunStore, SweepCase, canonical_tensor_spec
+from repro.bench.runstore import STORE_VERSION, StoreError
+from repro.metrics.perf import PerfRecord
+from repro.obs import Tracer
+from repro.obs.export import CHROME_TRACE_VERSION, chrome_trace
+
+# ---------------------------------------------------------------------- #
+# Golden key sets
+# ---------------------------------------------------------------------- #
+
+PERF_RECORD_KEYS = {
+    "tensor",
+    "kernel",
+    "fmt",
+    "platform",
+    "flops",
+    "seconds",
+    "gflops",
+    "bound_gflops",
+    "efficiency",
+    "host_seconds",
+    "host_gflops",
+    "extra",
+}
+
+SWEEP_CASE_KEYS = {
+    "tensor",
+    "kernel",
+    "fmt",
+    "platform",
+    "tensor_spec",
+    "rank",
+    "block_size",
+    "repeats",
+    "warmup",
+    "measure_host",
+    "backend",
+    "base_seed",
+    "cache_scale",
+}
+
+RECORD_LINE_KEYS = {
+    "v",
+    "kind",
+    "fingerprint",
+    "seed",
+    "case",
+    "attempt",
+    "elapsed_s",
+    "record",
+}
+
+QUARANTINE_LINE_KEYS = {"v", "kind", "fingerprint", "seed", "case", "failures"}
+
+
+def sample_record(**overrides) -> PerfRecord:
+    base = dict(
+        tensor="vast",
+        kernel="mttkrp",
+        fmt="coo",
+        platform="Bluesky",
+        flops=1.5e6,
+        seconds=0.0125,
+        gflops=0.12,
+        bound_gflops=3.4,
+        efficiency=0.0352941,
+        host_seconds=0.002,
+        host_gflops=0.75,
+        extra={"mode": 1, "method": "owner"},
+    )
+    base.update(overrides)
+    return PerfRecord(**base)
+
+
+def sample_case() -> SweepCase:
+    return SweepCase(
+        tensor="tiny",
+        kernel="ts",
+        fmt="coo",
+        platform="Bluesky",
+        tensor_spec=canonical_tensor_spec(
+            {"kind": "random", "shape": [20, 15, 6], "nnz": 100, "seed": 3}
+        ),
+        rank=4,
+        block_size=4,
+        repeats=1,
+        warmup=0,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# PerfRecord wire format
+# ---------------------------------------------------------------------- #
+
+
+class TestPerfRecordRoundTrip:
+    def test_dict_keys_are_pinned(self):
+        assert set(sample_record().to_dict()) == PERF_RECORD_KEYS
+
+    def test_json_round_trip_is_exact(self):
+        rec = sample_record()
+        back = PerfRecord.from_dict(json.loads(json.dumps(rec.to_dict())))
+        assert back == rec
+
+    def test_numpy_extras_are_sanitized(self):
+        rec = sample_record(
+            extra={
+                "np_float": np.float64(2.5),
+                "np_int": np.int32(7),
+                "np_bool": np.bool_(True),
+                "nested": {"arr": [np.float32(1.0), 2]},
+                "none": None,
+            }
+        )
+        wire = json.loads(json.dumps(rec.to_dict()))
+        assert wire["extra"]["np_float"] == 2.5
+        assert wire["extra"]["np_int"] == 7
+        assert wire["extra"]["np_bool"] is True
+        assert wire["extra"]["nested"]["arr"] == [1.0, 2]
+        assert wire["extra"]["none"] is None
+        back = PerfRecord.from_dict(wire)
+        assert back.extra == wire["extra"]
+
+    def test_unknown_field_is_rejected(self):
+        wire = sample_record().to_dict()
+        wire["surprise"] = 1
+        with pytest.raises(ValueError, match="surprise"):
+            PerfRecord.from_dict(wire)
+
+
+# ---------------------------------------------------------------------- #
+# Run-store line schema
+# ---------------------------------------------------------------------- #
+
+
+class TestRunStoreLines:
+    def test_store_version_is_pinned(self):
+        assert STORE_VERSION == 1
+
+    def test_record_line_keys(self, tmp_path):
+        store = RunStore(tmp_path / "run.jsonl")
+        case = sample_case()
+        store.append_record(case, sample_record(), attempt=1, elapsed_s=0.5)
+        (line,) = (tmp_path / "run.jsonl").read_text().splitlines()
+        payload = json.loads(line)
+        assert set(payload) == RECORD_LINE_KEYS
+        assert payload["v"] == STORE_VERSION
+        assert payload["kind"] == "record"
+        assert payload["fingerprint"] == case.fingerprint
+        assert payload["seed"] == case.case_seed
+        assert set(payload["case"]) == SWEEP_CASE_KEYS
+        assert set(payload["record"]) == PERF_RECORD_KEYS
+        assert payload["attempt"] == 1
+        assert payload["elapsed_s"] == 0.5
+
+    def test_quarantine_line_keys(self, tmp_path):
+        store = RunStore(tmp_path / "run.jsonl")
+        case = sample_case()
+        failures = [{"attempt": 0, "status": "fail_timeout", "error": "t"}]
+        store.append_quarantine(case, failures)
+        (line,) = (tmp_path / "run.jsonl").read_text().splitlines()
+        payload = json.loads(line)
+        assert set(payload) == QUARANTINE_LINE_KEYS
+        assert payload["kind"] == "quarantine"
+        assert payload["failures"] == failures
+
+    def test_record_round_trips_through_store(self, tmp_path):
+        store = RunStore(tmp_path / "run.jsonl")
+        case = sample_case()
+        rec = sample_record()
+        store.append_record(case, rec, attempt=0, elapsed_s=0.1)
+        state = store.load()
+        assert state.perf_records([case.fingerprint]) == [rec]
+        stored_case = SweepCase.from_dict(state.records[case.fingerprint]["case"])
+        assert stored_case == case
+        assert stored_case.fingerprint == case.fingerprint
+
+    def test_version_drift_fails_load(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        store = RunStore(path)
+        store.append_record(sample_case(), sample_record(), attempt=0, elapsed_s=0.1)
+        payload = json.loads(path.read_text())
+        payload["v"] = STORE_VERSION + 1
+        path.write_text(json.dumps(payload) + "\n")
+        with pytest.raises(StoreError, match="version"):
+            store.load()
+
+
+# ---------------------------------------------------------------------- #
+# Chrome trace-event export schema
+# ---------------------------------------------------------------------- #
+
+
+def traced() -> dict:
+    tracer = Tracer(meta={"suite": "golden"})
+    with tracer:
+        with tracer.span("outer", cat="kernel", mode=1):
+            tracer.instant("tick", cat="kernel")
+            tracer.count("nnz", 64)
+    return chrome_trace(tracer.freeze())
+
+
+class TestChromeTraceSchema:
+    def test_top_level_keys(self):
+        doc = traced()
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["exporter"] == "repro.obs"
+        assert doc["otherData"]["version"] == CHROME_TRACE_VERSION
+        assert doc["otherData"]["suite"] == "golden"
+
+    def test_event_phases_and_keys(self):
+        events = traced()["traceEvents"]
+        by_ph = {}
+        for e in events:
+            by_ph.setdefault(e["ph"], []).append(e)
+        assert set(by_ph) == {"M", "X", "i", "C"}
+
+        (span,) = by_ph["X"]
+        assert set(span) == {"name", "cat", "ph", "ts", "pid", "tid", "args", "dur"}
+        assert span["name"] == "outer"
+        assert span["args"]["mode"] == 1
+
+        (instant,) = by_ph["i"]
+        assert set(instant) == {"name", "cat", "ph", "ts", "pid", "tid", "args", "s"}
+        assert instant["s"] == "t"
+
+        (counter,) = by_ph["C"]
+        assert set(counter) == {"name", "ph", "ts", "pid", "tid", "args"}
+        assert counter["name"] == "nnz"
+        assert counter["args"] == {"value": 64}
+
+        (meta,) = by_ph["M"]
+        assert set(meta) == {"name", "ph", "pid", "tid", "args"}
+        assert meta["name"] == "thread_name"
+
+    def test_export_is_json_serializable(self):
+        doc = traced()
+        assert json.loads(json.dumps(doc)) == doc

@@ -12,6 +12,7 @@ These are the invariants the whole suite rests on:
 from __future__ import annotations
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -25,6 +26,9 @@ from repro.kernels import (
     dense_ttm,
     dense_ttv,
     hicoo_mttkrp,
+    hicoo_tew,
+    hicoo_ts,
+    hicoo_ttm,
     hicoo_ttv,
 )
 from repro.sptensor import (
@@ -213,6 +217,124 @@ class TestKernelsAgainstDense:
         back = coo_ts(forward, s, "div")
         np.testing.assert_allclose(back.values, t.values, rtol=1e-9)
 
+#: Every (scatter method, privatization) the Mttkrp kernels accept:
+#: "workspace" is the atomic method's per-thread arena pool, "chunk" the
+#: seed's per-chunk buffers kept as the ablation baseline.
+SCATTER_METHODS = [
+    ("atomic", "arena"),
+    ("atomic", "chunk"),
+    ("sort", "arena"),
+    ("owner", "arena"),
+]
+
+BACKENDS = ["sequential", "openmp", "racecheck"]
+
+
+class TestCrossFormatMatrix:
+    """COO vs HiCOO vs dense, across scatter methods and backends.
+
+    The executor assumes a case's result is a pure function of its
+    fingerprint — true only if every (kernel, format, method, backend)
+    combination computes the same mathematical answer.  This matrix pins
+    that equivalence; the racecheck column additionally proves each
+    combination writes without data races.
+    """
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("method,privatize", SCATTER_METHODS)
+    @given(t=sparse_tensors(max_order=3, max_dim=10, max_nnz=40), data=st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_mttkrp(self, t, data, method, privatize, backend):
+        mode = data.draw(st.integers(0, t.nmodes - 1))
+        b = data.draw(block_sizes)
+        rng = np.random.default_rng(data.draw(st.integers(0, 1000)))
+        mats = [rng.uniform(-1, 1, (s, 3)) for s in t.shape]
+        want = dense_mttkrp(t.to_dense(), mats, mode)
+        got_coo = coo_mttkrp(
+            t, mats, mode, backend=backend, method=method, privatize=privatize
+        )
+        np.testing.assert_allclose(got_coo, want, rtol=1e-7, atol=1e-9)
+        h = HiCOOTensor.from_coo(t, b)
+        got_hicoo = hicoo_mttkrp(
+            h, mats, mode, backend=backend, method=method, privatize=privatize
+        )
+        np.testing.assert_allclose(got_hicoo, want, rtol=1e-7, atol=1e-9)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @given(t=sparse_tensors(max_order=3, max_dim=10, max_nnz=40), data=st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_tew(self, t, data, backend):
+        b = data.draw(block_sizes)
+        other = COOTensor.random(
+            t.shape, nnz=min(t.nnz + 1, 30), rng=data.draw(st.integers(0, 1000))
+        ).astype(np.float64)
+        want = t.to_dense() + other.to_dense()
+        got_coo = coo_tew(t, other, "add", backend=backend).to_dense()
+        np.testing.assert_allclose(got_coo, want, rtol=1e-7, atol=1e-9)
+        got_hicoo = hicoo_tew(
+            HiCOOTensor.from_coo(t, b),
+            HiCOOTensor.from_coo(other, b),
+            "add",
+            backend=backend,
+        )
+        np.testing.assert_allclose(
+            got_hicoo.to_coo().to_dense(), want, rtol=1e-7, atol=1e-9
+        )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @given(
+        t=sparse_tensors(max_order=3, max_dim=10, max_nnz=40),
+        s=st.floats(0.1, 10.0),
+        data=st.data(),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_ts(self, t, s, data, backend):
+        b = data.draw(block_sizes)
+        want = t.to_dense() * s
+        got_coo = coo_ts(t, s, "mul", backend=backend).to_dense()
+        np.testing.assert_allclose(got_coo, want, rtol=1e-9, atol=0)
+        got_hicoo = hicoo_ts(HiCOOTensor.from_coo(t, b), s, "mul", backend=backend)
+        np.testing.assert_allclose(
+            got_hicoo.to_coo().to_dense(), want, rtol=1e-9, atol=0
+        )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @given(t=sparse_tensors(max_order=3, max_dim=10, max_nnz=40), data=st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_ttv(self, t, data, backend):
+        mode = data.draw(st.integers(0, t.nmodes - 1))
+        b = data.draw(block_sizes)
+        v = np.random.default_rng(data.draw(st.integers(0, 1000))).uniform(
+            -1, 1, t.shape[mode]
+        )
+        want = dense_ttv(t.to_dense(), v, mode)
+        got_coo = coo_ttv(t, v, mode, backend=backend).to_dense()
+        np.testing.assert_allclose(got_coo, want, rtol=1e-7, atol=1e-9)
+        got_hicoo = hicoo_ttv(HiCOOTensor.from_coo(t, b), v, mode, backend=backend)
+        np.testing.assert_allclose(
+            got_hicoo.to_coo().to_dense(), want, rtol=1e-7, atol=1e-9
+        )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @given(t=sparse_tensors(max_order=3, max_dim=8, max_nnz=30), data=st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_ttm(self, t, data, backend):
+        mode = data.draw(st.integers(0, t.nmodes - 1))
+        b = data.draw(block_sizes)
+        r = data.draw(st.integers(1, 4))
+        u = np.random.default_rng(data.draw(st.integers(0, 1000))).uniform(
+            -1, 1, (t.shape[mode], r)
+        )
+        want = dense_ttm(t.to_dense(), u, mode)
+        got_coo = coo_ttm(t, u, mode, backend=backend).to_dense()
+        np.testing.assert_allclose(got_coo, want, rtol=1e-7, atol=1e-9)
+        got_hicoo = hicoo_ttm(HiCOOTensor.from_coo(t, b), u, mode, backend=backend)
+        np.testing.assert_allclose(
+            got_hicoo.to_coo().to_dense(), want, rtol=1e-7, atol=1e-9
+        )
+
+
+class TestKernelLinearity:
     @given(sparse_tensors())
     @settings(max_examples=30, deadline=None)
     def test_ttv_linearity(self, t):
