@@ -30,6 +30,7 @@ from repro.generate import powerlaw_tensor
 from repro.kernels import coo_mttkrp, coo_ttm, coo_ttv, hicoo_mttkrp
 from repro.obs import Tracer, analyze, chrome_trace
 from repro.parallel import OpenMPBackend, get_backend
+from repro.roofline.oi import cost_for, extract_features
 from repro.sptensor import HiCOOTensor
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -62,6 +63,7 @@ def run(quick: bool, nthreads: int, reps: int, trace_path: str | None = None) ->
     vec = rng.random(x.shape[1]).astype(np.float32)
     seq = get_backend("sequential")
     omp = OpenMPBackend(nthreads=nthreads)
+    features = extract_features(x, "bench", BLOCK, hicoo=h)
 
     results = []
     traces: list = []
@@ -69,6 +71,11 @@ def run(quick: bool, nthreads: int, reps: int, trace_path: str | None = None) ->
     def record(kernel, fmt, backend, nthr, fn, **tags):
         entry = {"kernel": kernel, "format": fmt, "backend": backend,
                  "nthreads": nthr, **tags, **_time(fn, reps)}
+        # Effective DRAM bandwidth: Table-1 modeled bytes over measured
+        # median — comparable against the platform ceilings in Table 1.
+        cost = cost_for(features, kernel, fmt, r=RANK)
+        if entry["median_s"] > 0:
+            entry["eff_bw_gbs"] = round(cost.bytes / entry["median_s"] / 1e9, 3)
         if backend != "sequential":
             # One traced rerun *after* the timing loop: the tracer is only
             # installed here, so the recorded medians keep the untraced

@@ -49,6 +49,7 @@ from repro.bench.runner import (
 )
 from repro.bench.runstore import RunStore
 from repro.metrics.perf import PerfRecord
+from repro.obs.registry import get_metrics
 from repro.obs.tracer import CAT_CASE, current_tracer
 
 #: Failure kinds recorded in retry/quarantine logs.
@@ -281,6 +282,10 @@ class SuiteExecutor:
         """
         cfg = self.config
         tracer = current_tracer()
+        # Tracer counters cover one traced invocation; the process-global
+        # registry accumulates across the whole sweep with per-case labels
+        # (dumped by ``repro metrics`` / scraped as Prometheus text).
+        metrics = get_metrics()
         done = (
             self.store.load().completed()
             if cfg.resume and self.store.exists()
@@ -289,9 +294,14 @@ class SuiteExecutor:
         report = ExecutorReport(shards=cfg.shards, shard_index=cfg.shard_index)
         for case in self.shard_cases():
             fp = case.fingerprint
+            labels = {
+                "kernel": case.kernel, "fmt": case.fmt,
+                "platform": case.platform,
+            }
             if fp in done:
                 report.skipped.append(fp)
                 tracer.count("exec.skipped")
+                metrics.inc("exec.skipped", **labels)
                 continue
             failures = []
             for attempt in range(cfg.retries + 1):
@@ -302,29 +312,34 @@ class SuiteExecutor:
                     attempt=attempt, isolation=cfg.isolation,
                 ):
                     record, failure = self._attempt(case, attempt)
+                elapsed = time.perf_counter() - t0
                 if record is not None:
-                    self.store.append_record(
-                        case, record, attempt, time.perf_counter() - t0
-                    )
+                    self.store.append_record(case, record, attempt, elapsed)
                     report.completed.append(fp)
                     tracer.count("exec.completed")
+                    metrics.inc("exec.completed", **labels)
+                    metrics.observe("exec.case_seconds", elapsed, **labels)
                     break
                 failures.append(failure)
                 if failure["kind"] == FAIL_TIMEOUT:
                     report.timeouts += 1
                     tracer.count("exec.timeouts")
+                    metrics.inc("exec.timeouts", **labels)
                 elif failure["kind"] == FAIL_CRASH:
                     report.crashes += 1
                     tracer.count("exec.crashes")
+                    metrics.inc("exec.crashes", **labels)
                 if attempt < cfg.retries:
                     report.retries += 1
                     tracer.count("exec.retries")
+                    metrics.inc("exec.retries", **labels)
                     self._sleep(self.backoff_s(attempt))
             else:
                 self.store.append_quarantine(case, failures)
                 report.quarantined.append(fp)
                 report.failures[fp] = failures
                 tracer.count("exec.quarantined")
+                metrics.inc("exec.quarantined", **labels)
         return report
 
     def backoff_s(self, attempt: int) -> float:

@@ -383,7 +383,11 @@ def observations(
 
     # Obs 1: diverse performance, wide ranges.
     for name, recs in per_platform.items():
-        lo, hi = gflops_range(recs)
+        span = gflops_range(recs)
+        if span is None:
+            add("1", name, "GFLOPS spread min..max", "no data", False)
+            continue
+        lo, hi = span
         add("1", name, "GFLOPS spread min..max", f"{lo:.2f}..{hi:.2f}", hi > 5 * max(lo, 1e-9))
 
     # Obs 2: most below roofline; some small/cache-resident above.

@@ -1,0 +1,293 @@
+"""Fold a run store into the paper's Observation-style tables.
+
+The PASTA paper's experimental payoff is five qualitative Observations
+(Sec. 5.2) — performance diversity, cache effects above the roofline,
+low efficiency on irregular kernels, format effects, and memory-bound
+behavior everywhere.  ``repro report`` reproduces those as tables over
+*any* run store, so a sweep journal turns into the paper-style analysis
+without re-running anything:
+
+* **Observation 1** — per-platform, per-kernel achieved-GFLOPS ranges
+  (performance diversity across tensors and formats);
+* **Observation 2** — the share of cases above their roofline bound
+  (cache-resident working sets);
+* **Observation 3** — bound-fraction distributions per (kernel, fmt):
+  how far below the accurate-OI roofline each group sits, from the
+  ``extra["roofline"]`` attribution block;
+* **Observation 4** — HiCOO vs COO per-kernel geomean time ratios
+  (format effects, paired per tensor);
+* **Observation 5** — memory- vs compute-bound census and, where host
+  times exist, sustained effective DRAM bandwidth against the ceiling.
+
+Output renders as text, GitHub markdown, or JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.metrics.perf import PerfRecord
+from repro.metrics.stats import geomean, gflops_range, group_by
+
+
+@dataclass(frozen=True)
+class Section:
+    """One Observation table."""
+
+    obs: str
+    title: str
+    headers: tuple
+    rows: tuple
+    note: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "obs": self.obs,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(r) for r in self.rows],
+            "note": self.note,
+        }
+
+
+@dataclass(frozen=True)
+class ObservationReport:
+    """The full Observation 1-5 report over one record set."""
+
+    nrecords: int
+    platforms: tuple
+    sections: tuple
+    meta: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "nrecords": self.nrecords,
+            "platforms": list(self.platforms),
+            "sections": [s.as_dict() for s in self.sections],
+        }
+
+    def render(self, fmt: str = "text") -> str:
+        if fmt == "json":
+            return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+        out = [
+            f"observation report over {self.nrecords} records "
+            f"({', '.join(self.platforms)})"
+        ]
+        for s in self.sections:
+            out.append("")
+            if fmt == "markdown":
+                out.append(f"## Observation {s.obs} — {s.title}")
+                out.append("")
+                out.append("| " + " | ".join(s.headers) + " |")
+                out.append("|" + "|".join(["---"] * len(s.headers)) + "|")
+                for row in s.rows:
+                    out.append("| " + " | ".join(str(c) for c in row) + " |")
+            else:
+                out.append(f"Observation {s.obs} — {s.title}")
+                widths = [
+                    max(len(str(h)), *(len(str(r[i])) for r in s.rows))
+                    if s.rows else len(str(h))
+                    for i, h in enumerate(s.headers)
+                ]
+                out.append(
+                    "  " + "  ".join(
+                        str(h).ljust(w) for h, w in zip(s.headers, widths)
+                    )
+                )
+                for row in s.rows:
+                    out.append(
+                        "  " + "  ".join(
+                            str(c).ljust(w) for c, w in zip(row, widths)
+                        )
+                    )
+            if s.note:
+                out.append(f"  ({s.note})")
+        return "\n".join(out)
+
+
+def _bound_fraction(rec: PerfRecord):
+    """The attribution block's bound fraction (efficiency as fallback)."""
+    roofline = rec.extra.get("roofline")
+    if isinstance(roofline, dict):
+        value = roofline.get("bound_fraction")
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return float(value)
+    return float(rec.efficiency)
+
+
+def _boundedness(rec: PerfRecord):
+    roofline = rec.extra.get("roofline")
+    if isinstance(roofline, dict):
+        return roofline.get("boundedness")
+    return None
+
+
+def _fmt_range(span) -> str:
+    if span is None:
+        return "no data"
+    lo, hi = span
+    return f"{lo:.3g}..{hi:.3g}"
+
+
+def _obs1(records) -> Section:
+    rows = []
+    for (platform, kernel), recs in sorted(
+        group_by(records, "platform", "kernel").items()
+    ):
+        span = gflops_range(recs)
+        spread = ""
+        if span is not None and span[0] > 0:
+            spread = f"{span[1] / span[0]:.1f}x"
+        rows.append((platform, kernel, len(recs), _fmt_range(span), spread))
+    return Section(
+        obs="1",
+        title="performance diversity (achieved GFLOPS ranges)",
+        headers=("platform", "kernel", "cases", "gflops min..max", "spread"),
+        rows=tuple(rows),
+    )
+
+
+def _obs2(records) -> Section:
+    rows = []
+    for (platform,), recs in sorted(group_by(records, "platform").items()):
+        above = [r for r in recs if _bound_fraction(r) > 1.0]
+        rows.append(
+            (
+                platform,
+                len(recs),
+                len(above),
+                f"{len(above) / len(recs):.1%}" if recs else "no data",
+            )
+        )
+    return Section(
+        obs="2",
+        title="cases above the roofline bound (cache-resident sets)",
+        headers=("platform", "cases", "above bound", "fraction"),
+        rows=tuple(rows),
+        note="bound fraction > 1 means the working set was served from cache",
+    )
+
+
+def _obs3(records) -> Section:
+    rows = []
+    for (platform, kernel, fmt), recs in sorted(
+        group_by(records, "platform", "kernel", "fmt").items()
+    ):
+        fracs = sorted(_bound_fraction(r) for r in recs)
+        if not fracs:
+            continue
+        mid = fracs[len(fracs) // 2]
+        rows.append(
+            (
+                platform,
+                kernel,
+                fmt,
+                len(fracs),
+                f"{min(fracs):.3f}",
+                f"{mid:.3f}",
+                f"{max(fracs):.3f}",
+            )
+        )
+    return Section(
+        obs="3",
+        title="roofline bound-fraction distribution per (kernel, fmt)",
+        headers=(
+            "platform", "kernel", "fmt", "cases",
+            "bound_frac min", "median", "max",
+        ),
+        rows=tuple(rows),
+        note="1.0 == at the accurate-OI roofline bound",
+    )
+
+
+def _obs4(records) -> Section:
+    rows = []
+    for (platform, kernel), recs in sorted(
+        group_by(records, "platform", "kernel").items()
+    ):
+        by_fmt: dict[str, dict] = {}
+        for r in recs:
+            by_fmt.setdefault(r.fmt, {})[r.tensor] = r
+        coo, hicoo = by_fmt.get("coo", {}), by_fmt.get("hicoo", {})
+        ratios = []
+        for tensor in sorted(set(coo) & set(hicoo)):
+            a, b = coo[tensor].seconds, hicoo[tensor].seconds
+            if a > 0 and b > 0:
+                ratios.append(a / b)
+        if not ratios:
+            continue
+        gm = geomean(ratios)
+        rows.append(
+            (
+                platform,
+                kernel,
+                len(ratios),
+                f"{gm:.3f}" if gm is not None else "no data",
+                f"{min(ratios):.3f}..{max(ratios):.3f}",
+            )
+        )
+    return Section(
+        obs="4",
+        title="HiCOO vs COO (geomean COO/HiCOO time ratio, paired per tensor)",
+        headers=("platform", "kernel", "pairs", "geomean speedup", "range"),
+        rows=tuple(rows),
+        note="> 1 means HiCOO is faster on the modeled platform time",
+    )
+
+
+def _obs5(records) -> Section:
+    rows = []
+    for (platform,), recs in sorted(group_by(records, "platform").items()):
+        memory = sum(1 for r in recs if _boundedness(r) == "memory")
+        compute = sum(1 for r in recs if _boundedness(r) == "compute")
+        unattributed = len(recs) - memory - compute
+        bw = []
+        for r in recs:
+            roofline = r.extra.get("roofline")
+            if isinstance(roofline, dict):
+                eff = roofline.get("effective_bw_gbs") or 0.0
+                ceiling = roofline.get("bw_ceiling_gbs") or 0.0
+                if eff > 0 and ceiling > 0:
+                    bw.append(eff / ceiling)
+        rows.append(
+            (
+                platform,
+                memory,
+                compute,
+                unattributed,
+                f"{sum(bw) / len(bw):.1%}" if bw else "unmeasured",
+            )
+        )
+    return Section(
+        obs="5",
+        title="boundedness census and sustained DRAM bandwidth",
+        headers=(
+            "platform", "memory-bound", "compute-bound",
+            "unattributed", "mean eff-bw / ceiling",
+        ),
+        rows=tuple(rows),
+        note="bandwidth column needs host-measured runs (--measure-host)",
+    )
+
+
+def build_report(records) -> ObservationReport:
+    """The Observation 1-5 tables over a list of :class:`PerfRecord`."""
+    records = list(records)
+    platforms = tuple(sorted({r.platform for r in records}))
+    sections = tuple(
+        fn(records) for fn in (_obs1, _obs2, _obs3, _obs4, _obs5)
+    )
+    return ObservationReport(
+        nrecords=len(records),
+        platforms=platforms,
+        sections=sections,
+    )
+
+
+def report_from_store(path) -> ObservationReport:
+    """Load a run-store journal and build its observation report."""
+    from repro.bench.runstore import RunStore
+
+    state = RunStore(path).load()
+    return build_report(state.perf_records())

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -49,6 +51,7 @@ from repro.gpu.kernels import (
 )
 from repro.metrics.perf import PerfRecord, efficiency, gflops
 from repro.metrics.stats import mean_over_modes
+from repro.obs.attribution import attach_to_trace, attribute
 from repro.parallel.backend import Backend, get_backend
 from repro.roofline.model import RooflineModel
 from repro.roofline.oi import TensorFeatures, cost_for, extract_features
@@ -60,6 +63,40 @@ from repro.util.timing import time_call
 
 ALL_KERNELS = (Kernel.TEW, Kernel.TS, Kernel.TTV, Kernel.TTM, Kernel.MTTKRP)
 BENCH_FORMATS = (Format.COO, Format.HICOO)
+
+#: ``"kernel:seconds,kernel:seconds"`` — injects a per-call sleep into the
+#: host-measured path of the named kernels.  Exists so the perf-gate CI
+#: job (and local checks) can synthesize a regression the sentinel must
+#: catch; it propagates into sweep worker subprocesses via the inherited
+#: environment.  Unset or empty = zero overhead.
+PERF_DRAG_ENV = "REPRO_PERF_DRAG"
+
+
+def _drag_seconds(kernel: Kernel) -> float:
+    """The injected slowdown configured for ``kernel`` (0.0 normally)."""
+    spec = os.environ.get(PERF_DRAG_ENV, "")
+    if not spec:
+        return 0.0
+    for part in spec.split(","):
+        name, sep, secs = part.partition(":")
+        if sep and name.strip() == kernel.value:
+            try:
+                return max(0.0, float(secs))
+            except ValueError:
+                return 0.0
+    return 0.0
+
+
+def _with_drag(fn, drag_s: float):
+    """Wrap a timed callable with the configured synthetic slowdown."""
+    if drag_s <= 0.0:
+        return fn
+
+    def dragged():
+        time.sleep(drag_s)
+        return fn()
+
+    return dragged
 
 
 def derive_case_seed(base_seed: int, *parts) -> int:
@@ -354,10 +391,15 @@ class SuiteRunner:
         finally:
             if tracer is not None:
                 tracer.uninstall()
+        # Roofline attribution: explain this measurement against its bound
+        # (rides in extra["roofline"] and therefore into run-store lines).
+        attribution = attribute(self.roofline, cost, seconds, host_seconds)
+        extra = dict(extra, roofline=attribution.as_dict())
         if tracer is not None:
             from repro.obs import analyze
 
-            extra = dict(extra, obs=analyze(tracer.freeze()).as_dict())
+            trace = attach_to_trace(tracer.freeze(), attribution)
+            extra["obs"] = analyze(trace).as_dict()
         g = gflops(cost.flops, seconds)
         return PerfRecord(
             tensor=bundle.name,
@@ -376,8 +418,14 @@ class SuiteRunner:
 
     # ------------------------------------------------------------------ #
     def _host_time(self, bundle: TensorBundle, kernel: Kernel, fmt: Format) -> float:
-        """Measured wall-clock of the NumPy kernel on this machine."""
+        """Measured wall-clock of the NumPy kernel on this machine.
+
+        Honors :data:`PERF_DRAG_ENV` (a synthetic per-call slowdown used
+        by the regression-sentinel gate to fabricate a detectable
+        regression).
+        """
         cfg = self.config
+        drag = _drag_seconds(kernel)
         x = bundle.coo if fmt is Format.COO else bundle.hicoo
         be = self.backend
         if kernel is Kernel.TEW:
@@ -386,14 +434,14 @@ class SuiteRunner:
                 if fmt is Format.COO
                 else (lambda: hicoo_tew(x, x, "add", be, assume_same_pattern=True))
             )
-            return time_call(fn, cfg.repeats, cfg.warmup).seconds
+            return time_call(_with_drag(fn, drag), cfg.repeats, cfg.warmup).seconds
         if kernel is Kernel.TS:
             fn = (
                 (lambda: coo_ts(x, 1.5, "mul", be))
                 if fmt is Format.COO
                 else (lambda: hicoo_ts(x, 1.5, "mul", be))
             )
-            return time_call(fn, cfg.repeats, cfg.warmup).seconds
+            return time_call(_with_drag(fn, drag), cfg.repeats, cfg.warmup).seconds
         # Mode-oriented kernels: average over all modes (paper protocol).
         times = []
         for mode in range(bundle.coo.nmodes):
@@ -419,7 +467,7 @@ class SuiteRunner:
                 )
             else:  # pragma: no cover - exhaustive above
                 raise ValueError(kernel)
-            times.append(time_call(fn, cfg.repeats, cfg.warmup).seconds)
+            times.append(time_call(_with_drag(fn, drag), cfg.repeats, cfg.warmup).seconds)
         return mean_over_modes(times)
 
     def _gpu_time(

@@ -15,6 +15,15 @@ Subcommands
                 subprocess per case, per-case timeout, retry with
                 backoff, quarantine, and an append-only JSONL run store
                 supporting ``--resume`` and ``--merge``.
+``report``    — fold a run store into paper-style Observation 1-5
+                tables (GFLOPS ranges, bound-fraction distributions,
+                HiCOO-vs-COO ratios) as text, markdown, or JSON.
+``regress``   — statistical perf-regression sentinel: compare two run
+                stores (or a store vs a committed ``BENCH_*.json``) by
+                per-group geomean time ratios with bootstrap CIs; exits
+                nonzero on a confident regression.
+``metrics``   — dump the metrics registry (Prometheus text or JSON),
+                optionally reconstructed from a run store.
 """
 
 from __future__ import annotations
@@ -207,7 +216,86 @@ def _cmd_sweep(args) -> int:
     report = executor.run()
     print(report.render())
     print(f"run store -> {store.path}")
+    if args.metrics:
+        from repro.obs import get_metrics
+
+        os.makedirs(os.path.dirname(args.metrics) or ".", exist_ok=True)
+        with open(args.metrics, "w") as f:
+            f.write(get_metrics().render_prometheus())
+        print(f"metrics (Prometheus text) -> {args.metrics}")
     return 1 if (args.strict and report.quarantined) else 0
+
+
+def _cmd_report(args) -> int:
+    from repro.bench.report import report_from_store
+
+    report = report_from_store(args.store)
+    if report.nrecords == 0:
+        print(f"no records in {args.store}", file=sys.stderr)
+        return 1
+    print(report.render(args.format))
+    return 0
+
+
+def _cmd_regress(args) -> int:
+    import json
+
+    from repro.bench.regress import RegressError, compare_paths
+
+    try:
+        report = compare_paths(
+            args.a,
+            args.b,
+            threshold=args.threshold,
+            confidence=args.confidence,
+            resamples=args.resamples,
+            min_pairs=args.min_pairs,
+            seed=args.seed,
+        )
+    except RegressError as exc:
+        print(f"regress: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return report.exit_code
+
+
+def _cmd_metrics(args) -> int:
+    import json
+
+    from repro.obs import MetricsRegistry, get_metrics
+
+    registry = get_metrics()
+    if args.store:
+        # Rebuild sweep counters/latencies from a journal, so the dump
+        # works offline (a fresh CLI process has an empty registry).
+        from repro.bench import RunStore
+
+        registry = MetricsRegistry()
+        state = RunStore(args.store).load()
+        for line in state.records.values():
+            case = line["case"]
+            labels = {
+                "kernel": case["kernel"], "fmt": case["fmt"],
+                "platform": case["platform"],
+            }
+            registry.inc("exec.completed", **labels)
+            registry.observe(
+                "exec.case_seconds", float(line.get("elapsed_s", 0.0)), **labels
+            )
+        for line in state.quarantined.values():
+            case = line["case"]
+            registry.inc(
+                "exec.quarantined", kernel=case["kernel"], fmt=case["fmt"],
+                platform=case["platform"],
+            )
+    if args.format == "json":
+        print(json.dumps(registry.as_dict(), indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(registry.render_prometheus())
+    return 0
 
 
 def _cmd_convert(args) -> int:
@@ -341,12 +429,45 @@ def _cmd_trace(args) -> int:
     trace = tracer.freeze()
     stats = analyze(trace)
 
+    # Stamp roofline attribution onto the kernel spans so the Chrome
+    # export shows bound-fraction / boundedness per span.
+    from repro.obs import CAT_KERNEL, attach_to_trace, attribute
+    from repro.roofline import RooflineModel, get_platform
+    from repro.roofline.oi import cost_for, extract_features
+    from repro.types import Format, Kernel
+
+    attribution = None
+    kernel_spans = trace.spans(CAT_KERNEL)
+    if kernel_spans:
+        features = extract_features(
+            coo, name, args.block_size,
+            x if args.fmt == "hicoo" else None,
+        )
+        cost = cost_for(
+            features, Kernel.coerce(args.kernel), Format.coerce(args.fmt),
+            args.rank,
+        )
+        host_s = sum(s.duration_s for s in kernel_spans) / len(kernel_spans)
+        attribution = attribute(
+            RooflineModel(get_platform(args.platform)), cost, host_s, host_s
+        )
+        attach_to_trace(trace, attribution)
+
     print(
         f"traced {args.kernel}/{args.fmt} on {name} "
         f"(nnz {coo.nnz}, {args.nthreads} threads, {args.schedule})"
     )
     print()
     print(stats.render())
+    if attribution is not None:
+        print()
+        print(
+            f"roofline ({attribution.platform}): host-time bound fraction "
+            f"{attribution.bound_fraction:.3f} of {attribution.bound_gflops:.2f} "
+            f"GFLOPS bound, {attribution.boundedness}-bound "
+            f"(OI {attribution.oi:.3f} vs ridge {attribution.ridge_oi:.2f}), "
+            f"effective DRAM bw {attribution.effective_bw_gbs:.2f} GB/s"
+        )
     if args.flame:
         print()
         print(flame_summary(trace))
@@ -470,6 +591,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_trace.add_argument("--block-size", type=int, default=128)
     p_trace.add_argument("--repeats", type=int, default=1)
+    p_trace.add_argument(
+        "--platform", default="Bluesky",
+        help="paper platform whose roofline attributes the kernel spans",
+    )
     p_trace.add_argument("--shape", type=int, nargs="+", default=[500, 400, 30])
     p_trace.add_argument("--nnz", type=int, default=20000)
     p_trace.add_argument("--seed", type=int, default=0)
@@ -550,7 +675,71 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict", action="store_true",
         help="exit 1 if any case is quarantined",
     )
+    p_sweep.add_argument(
+        "--metrics", metavar="PATH",
+        help="after the run, write the metrics registry (Prometheus text) "
+        "to PATH",
+    )
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_report = sub.add_parser(
+        "report",
+        help="fold a run store into paper-style Observation 1-5 tables",
+    )
+    p_report.add_argument(
+        "--store", required=True,
+        help="run-store JSONL journal to report on",
+    )
+    p_report.add_argument(
+        "--format", choices=["text", "markdown", "json"], default="text",
+    )
+    p_report.set_defaults(func=_cmd_report)
+
+    p_regress = sub.add_parser(
+        "regress",
+        help="compare two measurement sources (run stores or BENCH_*.json) "
+        "per (kernel, fmt, method) group; exit nonzero on a confident "
+        "regression",
+    )
+    p_regress.add_argument("a", help="baseline source (run store or BENCH json)")
+    p_regress.add_argument("b", help="candidate source (run store or BENCH json)")
+    p_regress.add_argument(
+        "--threshold", type=float, default=1.05,
+        help="geomean-ratio band edge: regressed if the CI sits wholly "
+        "above this (default 1.05 = 5%% slower)",
+    )
+    p_regress.add_argument(
+        "--confidence", type=float, default=0.95,
+        help="bootstrap confidence level (default 0.95)",
+    )
+    p_regress.add_argument(
+        "--resamples", type=int, default=1000,
+        help="bootstrap resamples per group (default 1000)",
+    )
+    p_regress.add_argument(
+        "--min-pairs", type=int, default=2,
+        help="fewer matched pairs than this = insufficient-data (never gates)",
+    )
+    p_regress.add_argument("--seed", type=int, default=0, help="bootstrap RNG seed")
+    p_regress.add_argument(
+        "--json", action="store_true", help="emit the full report as JSON"
+    )
+    p_regress.set_defaults(func=_cmd_regress)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="dump the metrics registry (Prometheus text or JSON), "
+        "optionally reconstructed from a run store",
+    )
+    p_metrics.add_argument(
+        "--store",
+        help="rebuild sweep counters/latency histograms from this run-store "
+        "journal instead of dumping the (empty) in-process registry",
+    )
+    p_metrics.add_argument(
+        "--format", choices=["prometheus", "json"], default="prometheus",
+    )
+    p_metrics.set_defaults(func=_cmd_metrics)
 
     p_conv = sub.add_parser("convert", help="convert/inspect a tensor file")
     p_conv.add_argument("input", help=".tns or .npz file")

@@ -2,9 +2,15 @@
 
 from repro.metrics.perf import PERF_HEADERS, PerfRecord, efficiency, gflops
 from repro.metrics.stats import (
+    BootstrapCI,
+    GeomeanResult,
     average_efficiency,
     average_gflops,
+    bootstrap_ci,
+    drop_nonpositive,
     geomean,
+    geomean_detail,
+    geomean_ratio_ci,
     gflops_range,
     group_by,
     mean_over_modes,
@@ -17,8 +23,14 @@ __all__ = [
     "PERF_HEADERS",
     "mean_over_modes",
     "geomean",
+    "geomean_detail",
+    "GeomeanResult",
+    "drop_nonpositive",
     "group_by",
     "average_gflops",
     "average_efficiency",
     "gflops_range",
+    "bootstrap_ci",
+    "BootstrapCI",
+    "geomean_ratio_ci",
 ]

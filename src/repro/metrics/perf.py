@@ -99,6 +99,20 @@ class PerfRecord:
             )
         return cls(**d)
 
+    def _extra_metric(self, group: str, key: str):
+        """A numeric field out of an ``extra`` sub-dict, or ``""``.
+
+        Results CSVs carry observability columns only when the run
+        recorded them; an empty cell means "not observed", which a fake
+        0.0 would misreport.
+        """
+        sub = self.extra.get(group)
+        if isinstance(sub, dict):
+            value = sub.get(key)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                return float(value)
+        return ""
+
     def as_row(self) -> list:
         return [
             self.tensor,
@@ -110,6 +124,9 @@ class PerfRecord:
             self.efficiency,
             self.host_seconds,
             self.host_gflops,
+            self._extra_metric("roofline", "bound_fraction"),
+            self._extra_metric("obs", "imbalance"),
+            self._extra_metric("obs", "busy_frac"),
         ]
 
 
@@ -123,4 +140,7 @@ PERF_HEADERS = [
     "efficiency",
     "host_seconds",
     "host_gflops",
+    "bound_fraction",
+    "imbalance",
+    "busy_frac",
 ]

@@ -1,15 +1,24 @@
-"""Aggregation helpers for benchmark records.
+"""Aggregation and resampling statistics for benchmark records.
 
 The paper averages kernel times over five runs and, for mode-oriented
 kernels, over all tensor modes; figures then quote per-kernel averages
 across a dataset.  These helpers implement those aggregations over
-:class:`~repro.metrics.perf.PerfRecord` lists.
+:class:`~repro.metrics.perf.PerfRecord` lists, plus the bootstrap
+machinery the regression sentinel (:mod:`repro.bench.regress`) builds
+its confidence intervals from.
+
+Empty input is *absence of data*, not a measurement of zero:
+:func:`geomean` and :func:`gflops_range` return ``None`` when nothing
+usable remains after dropping nonpositive values, and
+:func:`geomean_detail` reports how many values were dropped so callers
+can surface it.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -23,12 +32,46 @@ def mean_over_modes(times: Sequence[float]) -> float:
     return float(np.mean(times))
 
 
-def geomean(values: Sequence[float]) -> float:
-    """Geometric mean of positive values (robust cross-tensor average)."""
-    vals = [v for v in values if v > 0]
+def drop_nonpositive(values: Sequence[float]) -> tuple[list, int]:
+    """``(kept, n_dropped)`` — the positive values and how many fell out.
+
+    Geometric statistics are undefined at or below zero; callers that
+    filter should say how much data the filter cost them.
+    """
+    kept = [float(v) for v in values if v > 0]
+    return kept, len(values) - len(kept)
+
+
+@dataclass(frozen=True)
+class GeomeanResult:
+    """A geometric mean together with its data-hygiene footnote."""
+
+    value: Optional[float]
+    n_used: int
+    n_dropped: int
+
+
+def geomean_detail(values: Sequence[float]) -> GeomeanResult:
+    """Geometric mean plus how many nonpositive values were dropped.
+
+    ``value`` is ``None`` when no positive values remain — no data is
+    not a geomean of 0.0.
+    """
+    vals, dropped = drop_nonpositive(values)
     if not vals:
-        return 0.0
-    return float(np.exp(np.mean(np.log(vals))))
+        return GeomeanResult(value=None, n_used=0, n_dropped=dropped)
+    value = float(np.exp(np.mean(np.log(vals))))
+    return GeomeanResult(value=value, n_used=len(vals), n_dropped=dropped)
+
+
+def geomean(values: Sequence[float]) -> Optional[float]:
+    """Geometric mean of the positive values, ``None`` if there are none.
+
+    Nonpositive entries are dropped (use :func:`geomean_detail` to learn
+    how many); an empty or all-nonpositive input returns ``None`` rather
+    than a fake 0.0.
+    """
+    return geomean_detail(values).value
 
 
 def group_by(
@@ -61,9 +104,110 @@ def average_efficiency(
     }
 
 
-def gflops_range(records: Iterable[PerfRecord]) -> tuple[float, float]:
-    """(min, max) achieved GFLOPS across records (Observation 1)."""
+def gflops_range(records: Iterable[PerfRecord]) -> Optional[tuple]:
+    """(min, max) achieved GFLOPS across records (Observation 1).
+
+    ``None`` when there are no records — an empty group has no range,
+    and (0.0, 0.0) would read as "measured, and dismal".
+    """
     g = [r.gflops for r in records]
     if not g:
-        return (0.0, 0.0)
+        return None
     return (float(min(g)), float(max(g)))
+
+
+# --------------------------------------------------------------------- #
+# Bootstrap resampling (the regression sentinel's uncertainty model)
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """A point estimate with a percentile-bootstrap confidence interval."""
+
+    estimate: float
+    lo: float
+    hi: float
+    #: Sample size the statistic was computed over.
+    n: int
+    resamples: int
+    confidence: float
+
+    def excludes(self, value: float) -> bool:
+        """True when ``value`` falls outside [lo, hi]."""
+        return value < self.lo or value > self.hi
+
+    def as_dict(self) -> dict:
+        return {
+            "estimate": self.estimate,
+            "lo": self.lo,
+            "hi": self.hi,
+            "n": self.n,
+            "resamples": self.resamples,
+            "confidence": self.confidence,
+        }
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic: Optional[Callable] = None,
+    *,
+    resamples: int = 1000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> Optional[BootstrapCI]:
+    """Percentile bootstrap CI of ``statistic`` over ``values``.
+
+    ``statistic`` maps a 1-D numpy array to a float (default: mean).
+    Resampling is with replacement at the original sample size, driven
+    by a :func:`numpy.random.default_rng` seeded with ``seed`` so the
+    interval is reproducible.  Returns ``None`` on empty input; a
+    single-value sample yields a degenerate interval at that value.
+    """
+    vals = np.asarray([float(v) for v in values], dtype=float)
+    if vals.size == 0:
+        return None
+    stat = statistic if statistic is not None else (lambda a: float(np.mean(a)))
+    estimate = float(stat(vals))
+    if vals.size == 1:
+        return BootstrapCI(
+            estimate=estimate, lo=estimate, hi=estimate,
+            n=1, resamples=int(resamples), confidence=float(confidence),
+        )
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, vals.size, size=(int(resamples), vals.size))
+    samples = np.sort([float(stat(vals[row])) for row in idx])
+    alpha = (1.0 - confidence) / 2.0
+    lo = float(np.quantile(samples, alpha))
+    hi = float(np.quantile(samples, 1.0 - alpha))
+    return BootstrapCI(
+        estimate=estimate, lo=lo, hi=hi,
+        n=int(vals.size), resamples=int(resamples),
+        confidence=float(confidence),
+    )
+
+
+def _geomean_stat(arr) -> float:
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def geomean_ratio_ci(
+    ratios: Sequence[float],
+    *,
+    resamples: int = 1000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> Optional[BootstrapCI]:
+    """Bootstrap CI of the **geometric mean** of paired ratios.
+
+    The regression sentinel's core statistic: ratios of B-time over
+    A-time per matched case, summarized by geomean (so a 2x slowdown on
+    one case and a 2x speedup on another cancel).  Nonpositive ratios
+    are dropped first; ``None`` when nothing positive remains.
+    """
+    vals, _ = drop_nonpositive(ratios)
+    if not vals:
+        return None
+    return bootstrap_ci(
+        vals, _geomean_stat,
+        resamples=resamples, confidence=confidence, seed=seed,
+    )

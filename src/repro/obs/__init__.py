@@ -11,7 +11,17 @@ from repro.obs.analytics import (
     WorkerStats,
     analyze,
     imbalance_factor,
+    rollup_gauges,
     worker_busy,
+)
+from repro.obs.attribution import (
+    COMPUTE_BOUND,
+    MEMORY_BOUND,
+    RooflineAttribution,
+    attach_to_trace,
+    attribute,
+    classify_boundedness,
+    effective_bandwidth_gbs,
 )
 from repro.obs.export import (
     chrome_trace,
@@ -19,6 +29,12 @@ from repro.obs.export import (
     load_chrome,
     save_chrome,
     write_jsonl,
+)
+from repro.obs.registry import (
+    MetricsError,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
 )
 from repro.obs.tracer import (
     CAT_CASE,
@@ -51,6 +67,18 @@ __all__ = [
     "analyze",
     "worker_busy",
     "imbalance_factor",
+    "rollup_gauges",
+    "RooflineAttribution",
+    "attribute",
+    "attach_to_trace",
+    "classify_boundedness",
+    "effective_bandwidth_gbs",
+    "MEMORY_BOUND",
+    "COMPUTE_BOUND",
+    "MetricsRegistry",
+    "MetricsError",
+    "get_metrics",
+    "set_metrics",
     "chrome_trace",
     "save_chrome",
     "load_chrome",

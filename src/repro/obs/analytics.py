@@ -15,8 +15,10 @@ backends record:
 * **critical-path estimate** — the busiest worker's chunk time plus the
   wall clock spent outside any parallel region (serial pre/post
   processing): a lower bound on the traced interval at infinite width;
-* **counter rollups** — every counter summed across workers, gauges
-  summed worker-wise (an arena-bytes gauge per slot sums to pool bytes).
+* **counter rollups** — every counter summed across workers; gauges roll
+  up **max-per-worker, then summed across slot workers**
+  (:func:`rollup_gauges`), so a byte gauge re-set across regions
+  contributes each arena's peak exactly once.
 """
 
 from __future__ import annotations
@@ -129,8 +131,35 @@ def _merged_duration(intervals) -> float:
     return total
 
 
+def rollup_gauges(trace: Trace) -> dict:
+    """Roll each gauge up as **max per worker, then sum across workers**.
+
+    A gauge is a level, not a flow: a worker that sets ``ws.arena_bytes``
+    in every region re-states its *current* arena size, it does not
+    allocate a fresh arena each time.  Summing last-values per worker is
+    right (each slot owns one arena), but summing every observation — or
+    summing last-values after a region shrank some arenas — double-counts
+    or under-counts the high-water footprint.  The rule here: take each
+    worker's **peak** observation (``Trace.gauge_peaks``, falling back to
+    the last value for hand-built traces), then sum across workers, so
+    the rollup is the aggregate high-water level across the pool.
+    """
+    out: dict[str, float] = {}
+    names = set(trace.gauges) | set(trace.gauge_peaks)
+    for name in names:
+        last = trace.gauges.get(name, {})
+        peaks = dict(last)
+        peaks.update(trace.gauge_peaks.get(name, {}))
+        out[name] = float(sum(peaks.values()))
+    return out
+
+
 def analyze(trace: Trace) -> TraceStats:
-    """Fold chunk spans and counters into :class:`TraceStats`."""
+    """Fold chunk spans and counters into :class:`TraceStats`.
+
+    Counters are summed across workers; gauges use the
+    max-per-worker-then-sum rule of :func:`rollup_gauges`.
+    """
     chunks = trace.spans(CAT_CHUNK)
     busy = worker_busy(trace)
     per_worker = []
@@ -161,9 +190,7 @@ def analyze(trace: Trace) -> TraceStats:
     counters = {
         name: float(sum(per.values())) for name, per in trace.counters.items()
     }
-    gauges = {
-        name: float(sum(per.values())) for name, per in trace.gauges.items()
-    }
+    gauges = rollup_gauges(trace)
     return TraceStats(
         wall_s=wall,
         nworkers=nworkers,

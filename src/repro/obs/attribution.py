@@ -1,0 +1,167 @@
+"""Roofline attribution: explain a measurement against its bound.
+
+The paper's payoff is not raw timings but the *analysis* built on them:
+Figure 3's roofline bounds turned into Observations 1-5 about which
+kernel/format pairs are memory-bound and how far each sits from its
+ceiling.  This module is the join between a measurement and the roofline
+model: for one (kernel, format, tensor, platform) execution it derives
+
+* the accurate-OI roofline bound (``min(peak, OI x ERT-DRAM)``, the
+  per-tensor bound of Figures 4-7);
+* the **bound fraction** — achieved GFLOPS over that bound (1.0 == at
+  the roofline, >1.0 == served from cache, Observation 2);
+* the **boundedness** classification — memory- vs compute-bound, from
+  the kernel's OI against the platform's ridge point (Observation on
+  Figure 3: every suite kernel sits left of the ridge on all four
+  platforms);
+* the **effective DRAM bandwidth** — the kernel's modeled byte traffic
+  over the *measured host* wall-clock, i.e. the bandwidth the execution
+  actually sustained, comparable against the ERT-DRAM ceiling.
+
+:class:`RooflineAttribution` travels as ``PerfRecord.extra["roofline"]``
+(and therefore into run-store lines and results CSVs), and
+:func:`attach_to_trace` copies the headline numbers onto the ``kernel``
+spans of a recorded trace so Chrome-trace viewers show bound-fraction
+per span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernels.flops import KernelCost
+from repro.metrics.perf import gflops
+from repro.obs.tracer import CAT_KERNEL, Trace
+
+MEMORY_BOUND = "memory"
+COMPUTE_BOUND = "compute"
+
+
+def classify_boundedness(oi: float, ridge_oi: float) -> str:
+    """Memory- or compute-bound: which roof the OI sits under.
+
+    Left of the ridge point the DRAM roof is the lower ceiling (memory
+    bound); at or right of it the compute roof binds.
+    """
+    return MEMORY_BOUND if oi < ridge_oi else COMPUTE_BOUND
+
+
+def effective_bandwidth_gbs(nbytes: float, seconds: float) -> float:
+    """Sustained GB/s implied by moving ``nbytes`` in ``seconds``.
+
+    0.0 when the interval is non-positive (unmeasured host time).
+    """
+    if seconds <= 0.0:
+        return 0.0
+    return nbytes / seconds / 1e9
+
+
+@dataclass(frozen=True)
+class RooflineAttribution:
+    """One measurement explained against its platform roofline."""
+
+    platform: str
+    kernel: str
+    fmt: str
+    #: Accurate per-tensor operational intensity (flops/byte).
+    oi: float
+    #: The platform's ridge point (peak / ERT-DRAM).
+    ridge_oi: float
+    #: ``min(peak, OI x ERT-DRAM)`` — the Figures 4-7 bound.
+    bound_gflops: float
+    #: Modeled/simulated achieved GFLOPS on the paper platform.
+    achieved_gflops: float
+    #: ``achieved / bound`` (1.0 == at the roofline).
+    bound_fraction: float
+    #: ``"memory"`` or ``"compute"`` (OI vs ridge point).
+    boundedness: str
+    modeled_flops: float
+    modeled_bytes: float
+    #: The ERT-DRAM ceiling the bound was computed against (GB/s).
+    bw_ceiling_gbs: float
+    #: Modeled bytes over *measured host* seconds (GB/s; 0.0 when the
+    #: host wall-clock was not measured).
+    effective_bw_gbs: float
+    #: ``effective_bw / ceiling`` — how much of the obtainable DRAM
+    #: bandwidth the host execution sustained (0.0 when unmeasured).
+    bw_fraction: float
+
+    def as_dict(self) -> dict:
+        """JSON-safe form for ``PerfRecord.extra["roofline"]``."""
+        return {
+            "platform": self.platform,
+            "kernel": self.kernel,
+            "fmt": self.fmt,
+            "oi": float(self.oi),
+            "ridge_oi": float(self.ridge_oi),
+            "bound_gflops": float(self.bound_gflops),
+            "achieved_gflops": float(self.achieved_gflops),
+            "bound_fraction": float(self.bound_fraction),
+            "boundedness": self.boundedness,
+            "modeled_flops": float(self.modeled_flops),
+            "modeled_bytes": float(self.modeled_bytes),
+            "bw_ceiling_gbs": float(self.bw_ceiling_gbs),
+            "effective_bw_gbs": float(self.effective_bw_gbs),
+            "bw_fraction": float(self.bw_fraction),
+        }
+
+    def span_attrs(self) -> dict:
+        """The headline numbers worth showing on a trace span."""
+        return {
+            "roofline.bound_gflops": round(float(self.bound_gflops), 4),
+            "roofline.bound_fraction": round(float(self.bound_fraction), 4),
+            "roofline.oi": round(float(self.oi), 5),
+            "roofline.boundedness": self.boundedness,
+            "roofline.effective_bw_gbs": round(float(self.effective_bw_gbs), 3),
+        }
+
+
+def attribute(
+    model,
+    cost: KernelCost,
+    seconds: float,
+    host_seconds: float = 0.0,
+) -> RooflineAttribution:
+    """Build the :class:`RooflineAttribution` of one measurement.
+
+    ``model`` is the platform's :class:`~repro.roofline.model.RooflineModel`;
+    ``cost`` the kernel's Table-1 cost instantiated for the tensor
+    (:func:`repro.roofline.oi.cost_for`); ``seconds`` the modeled or
+    simulated platform time; ``host_seconds`` the measured host
+    wall-clock (0.0 when not measured).
+    """
+    platform = model.platform
+    bound = model.attainable(cost.oi)
+    achieved = gflops(cost.flops, seconds)
+    eff_bw = effective_bandwidth_gbs(cost.bytes, host_seconds)
+    ceiling = platform.ert_dram_bw_gbs
+    return RooflineAttribution(
+        platform=platform.name,
+        kernel=cost.kernel.value,
+        fmt=cost.fmt.value,
+        oi=cost.oi,
+        ridge_oi=platform.ridge_oi,
+        bound_gflops=bound,
+        achieved_gflops=achieved,
+        bound_fraction=achieved / bound if bound > 0 else 0.0,
+        boundedness=classify_boundedness(cost.oi, platform.ridge_oi),
+        modeled_flops=cost.flops,
+        modeled_bytes=cost.bytes,
+        bw_ceiling_gbs=ceiling,
+        effective_bw_gbs=eff_bw,
+        bw_fraction=eff_bw / ceiling if ceiling > 0 else 0.0,
+    )
+
+
+def attach_to_trace(trace: Trace, attribution: RooflineAttribution) -> Trace:
+    """Stamp the attribution onto every ``kernel`` span of ``trace``.
+
+    Span attrs are enriched in place (the trace snapshot shares the
+    event objects), so a Chrome export after this call shows
+    bound-fraction, OI and boundedness in each kernel span's ``args``.
+    Returns ``trace`` for chaining.
+    """
+    attrs = attribution.span_attrs()
+    for event in trace.spans(CAT_KERNEL):
+        event.attrs.update(attrs)
+    return trace

@@ -1,0 +1,322 @@
+"""Process-global, slot-aware metrics registry with Prometheus export.
+
+Traces answer "what happened inside *this* kernel invocation"; a
+long-running sweep needs the orthogonal view — monotonically growing
+counters, level gauges and latency histograms that survive across cases
+and can be scraped or dumped while the sweep is still running.  This
+module is that substrate:
+
+* :class:`MetricsRegistry` — counters, gauges and histograms, each with
+  a **label set** (``kernel="mttkrp", fmt="hicoo"``), Prometheus style.
+  Writes are **slot-aware**: every metric value is sharded into
+  per-worker cells keyed by the backend worker slot executing the write
+  (:func:`repro.parallel.slots.current_slot`), falling back to the OS
+  thread, so concurrent increments from backend chunks never contend on
+  one cell; readers aggregate cells on export.
+* exporters — :meth:`MetricsRegistry.render_prometheus` (text
+  exposition format) and :meth:`MetricsRegistry.as_dict` (JSON), both
+  deterministic (sorted names and label sets) so goldens can pin them.
+* :meth:`MetricsRegistry.absorb_trace` — folds a frozen
+  :class:`~repro.obs.tracer.Trace`'s counters and gauges into the
+  registry, which is how the tracer's per-kernel counters feed the
+  process-wide view.
+* a process-global default (:func:`get_metrics` / :func:`set_metrics`)
+  fed by the sweep executor and the suite runner, dumped by the
+  ``repro metrics`` CLI.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+# Lazy proxy, mirroring repro.obs.tracer: repro.parallel instruments
+# itself against repro.obs, so importing slots at module level would
+# close an import cycle.
+_current_slot = None
+
+
+def _slot():
+    global _current_slot
+    if _current_slot is None:
+        from repro.parallel.slots import current_slot as cs
+        _current_slot = cs
+    return _current_slot()
+
+
+def _cell_key() -> tuple:
+    slot = _slot()
+    if slot is not None:
+        return ("slot", int(slot))
+    return ("tid", threading.get_ident())
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+#: Default histogram buckets (seconds-flavoured, log-spaced).
+DEFAULT_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+
+class MetricsError(ValueError):
+    """A metric used inconsistently (kind clash, bad buckets)."""
+
+
+class _Metric:
+    """One named metric: kind, per-label-set per-cell values."""
+
+    __slots__ = ("name", "kind", "buckets", "series")
+
+    def __init__(self, name: str, kind: str, buckets=None):
+        self.name = name
+        self.kind = kind
+        self.buckets = buckets
+        #: label_key -> cell_key -> value (counter/gauge) or
+        #: ``[bucket_counts..., count, total]`` list (histogram).
+        self.series: dict[tuple, dict] = {}
+
+
+class MetricsRegistry:
+    """Labelled counters/gauges/histograms with lock-light hot paths."""
+
+    def __init__(self):
+        self._metrics: dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    # -- registration -------------------------------------------------- #
+    def _metric(self, name: str, kind: str, buckets=None) -> _Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    if kind == HISTOGRAM:
+                        buckets = tuple(float(b) for b in (buckets or DEFAULT_BUCKETS))
+                        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
+                            raise MetricsError(
+                                f"histogram {name!r} buckets must be strictly "
+                                f"increasing: {buckets}"
+                            )
+                    metric = _Metric(name, kind, buckets)
+                    self._metrics[name] = metric
+        if metric.kind != kind:
+            raise MetricsError(
+                f"metric {name!r} is a {metric.kind}, not a {kind}"
+            )
+        return metric
+
+    def _cells(self, metric: _Metric, labels: dict) -> dict:
+        lk = _label_key(labels)
+        cells = metric.series.get(lk)
+        if cells is None:
+            with self._lock:
+                cells = metric.series.setdefault(lk, {})
+        return cells
+
+    # -- writes (hot path: no lock once the series exists) -------------- #
+    def inc(self, name: str, value: float = 1.0, **labels) -> None:
+        """Add ``value`` to the counter ``name`` for this label set."""
+        cells = self._cells(self._metric(name, COUNTER), labels)
+        key = _cell_key()
+        cells[key] = cells.get(key, 0.0) + float(value)
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        """Set the gauge's last-observed value for this worker cell."""
+        cells = self._cells(self._metric(name, GAUGE), labels)
+        cells[_cell_key()] = float(value)
+
+    def observe(self, name: str, value: float, buckets=None, **labels) -> None:
+        """Record one observation into the histogram ``name``.
+
+        ``buckets`` (upper bounds, strictly increasing) only takes
+        effect on the histogram's first use.
+        """
+        metric = self._metric(name, HISTOGRAM, buckets)
+        cells = self._cells(metric, labels)
+        key = _cell_key()
+        cell = cells.get(key)
+        if cell is None:
+            # bucket counts + [count, sum] tail.
+            cell = cells[key] = [0] * len(metric.buckets) + [0, 0.0]
+        value = float(value)
+        for i, bound in enumerate(metric.buckets):
+            if value <= bound:
+                cell[i] += 1
+                break
+        cell[-2] += 1
+        cell[-1] += value
+
+    # -- trace ingestion ----------------------------------------------- #
+    def absorb_trace(self, trace, **labels) -> None:
+        """Fold a frozen trace's counters/gauges into the registry.
+
+        Counter totals (summed across workers) increment counters of the
+        same name; gauges enter at their max-per-slot-then-sum rollup
+        (see :func:`repro.obs.analytics.rollup_gauges`).  ``labels``
+        (e.g. ``kernel=..., fmt=...``) tag every absorbed series.
+        """
+        from repro.obs.analytics import rollup_gauges
+
+        for name in sorted(trace.counters):
+            self.inc(name, trace.counter_total(name), **labels)
+        for name, value in sorted(rollup_gauges(trace).items()):
+            self.set_gauge(name, value, **labels)
+
+    # -- reads --------------------------------------------------------- #
+    def _aggregate(self, metric: _Metric) -> dict:
+        """label_key -> aggregated value, cells folded under the lock."""
+        out = {}
+        with self._lock:
+            series = {lk: dict(cells) for lk, cells in metric.series.items()}
+        for lk, cells in series.items():
+            if metric.kind == HISTOGRAM:
+                agg = [0] * (len(metric.buckets) + 1) + [0.0]
+                for cell in cells.values():
+                    for i, v in enumerate(cell):
+                        agg[i] += v
+                out[lk] = agg
+            elif metric.kind == COUNTER:
+                out[lk] = float(sum(cells.values()))
+            else:  # gauge: sum of per-cell levels (one level per worker)
+                out[lk] = float(sum(cells.values()))
+        return out
+
+    def counter_value(self, name: str, **labels) -> float:
+        metric = self._metrics.get(name)
+        if metric is None:
+            return 0.0
+        return self._aggregate(metric).get(_label_key(labels), 0.0)
+
+    def gauge_value(self, name: str, **labels) -> float:
+        metric = self._metrics.get(name)
+        if metric is None:
+            return 0.0
+        return self._aggregate(metric).get(_label_key(labels), 0.0)
+
+    def histogram_snapshot(self, name: str, **labels) -> dict:
+        """``{"count": n, "sum": s, "buckets": {le: cumulative_count}}``."""
+        metric = self._metrics.get(name)
+        if metric is None or metric.kind != HISTOGRAM:
+            return {"count": 0, "sum": 0.0, "buckets": {}}
+        agg = self._aggregate(metric).get(_label_key(labels))
+        if agg is None:
+            return {"count": 0, "sum": 0.0, "buckets": {}}
+        buckets, cumulative = {}, 0
+        for bound, n in zip(metric.buckets, agg):
+            cumulative += n
+            buckets[_le(bound)] = cumulative
+        buckets["+Inf"] = agg[-2]
+        return {"count": int(agg[-2]), "sum": float(agg[-1]), "buckets": buckets}
+
+    # -- exporters ----------------------------------------------------- #
+    def as_dict(self) -> dict:
+        """Deterministic JSON form: kind -> name -> list of label series."""
+        out = {"counters": {}, "gauges": {}, "histograms": {}}
+        with self._lock:
+            metrics = dict(self._metrics)
+        for name in sorted(metrics):
+            metric = metrics[name]
+            agg = self._aggregate(metric)
+            series = []
+            for lk in sorted(agg):
+                labels = dict(lk)
+                if metric.kind == HISTOGRAM:
+                    snap = self.histogram_snapshot(name, **labels)
+                    series.append({"labels": labels, **snap})
+                else:
+                    series.append({"labels": labels, "value": agg[lk]})
+            key = {COUNTER: "counters", GAUGE: "gauges", HISTOGRAM: "histograms"}
+            out[key[metric.kind]][name] = series
+        return out
+
+    def render_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        lines = []
+        with self._lock:
+            metrics = dict(self._metrics)
+        for name in sorted(metrics):
+            metric = metrics[name]
+            pname = _prom_name(name)
+            lines.append(f"# TYPE {pname} {metric.kind}")
+            agg = self._aggregate(metric)
+            for lk in sorted(agg):
+                labels = dict(lk)
+                if metric.kind == HISTOGRAM:
+                    snap = self.histogram_snapshot(name, **labels)
+                    for le, n in snap["buckets"].items():
+                        lines.append(
+                            f"{pname}_bucket{_prom_labels(labels, le=le)} {n}"
+                        )
+                    lines.append(
+                        f"{pname}_sum{_prom_labels(labels)} {_prom_value(snap['sum'])}"
+                    )
+                    lines.append(
+                        f"{pname}_count{_prom_labels(labels)} {snap['count']}"
+                    )
+                else:
+                    lines.append(
+                        f"{pname}{_prom_labels(labels)} {_prom_value(agg[lk])}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def clear(self) -> None:
+        """Drop every metric (tests and fresh sweep invocations)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+def _le(bound: float) -> str:
+    """Prometheus ``le`` label for a bucket bound (no trailing zeros)."""
+    if bound == math.inf:
+        return "+Inf"
+    text = f"{bound:.10f}".rstrip("0").rstrip(".")
+    return text or "0"
+
+
+def _prom_name(name: str) -> str:
+    return "".join(c if (c.isalnum() or c in "_:") else "_" for c in name)
+
+
+def _prom_escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _prom_labels(labels: dict, le: "str | None" = None) -> str:
+    items = sorted(labels.items())
+    if le is not None:
+        items.append(("le", le))
+    if not items:
+        return ""
+    body = ",".join(f'{_prom_name(k)}="{_prom_escape(str(v))}"' for k, v in items)
+    return "{" + body + "}"
+
+
+def _prom_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+#: The process-global registry fed by the executor/runner by default.
+_GLOBAL = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-global registry."""
+    return _GLOBAL
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-global registry; returns the previous one."""
+    global _GLOBAL
+    previous = _GLOBAL
+    _GLOBAL = registry
+    return previous

@@ -87,13 +87,17 @@ class SpanEvent:
 class _WorkerBuffer:
     """Events and counter totals of one worker (slot or plain thread)."""
 
-    __slots__ = ("key", "events", "counters", "gauges")
+    __slots__ = ("key", "events", "counters", "gauges", "gauge_peaks")
 
     def __init__(self, key: tuple):
         self.key = key
         self.events: list[SpanEvent] = []
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
+        #: High-water mark of every gauge this worker ever set — a gauge
+        #: re-set across regions keeps its peak here even though
+        #: ``gauges`` only retains the last value.
+        self.gauge_peaks: dict[str, float] = {}
 
 
 class _Span:
@@ -147,12 +151,16 @@ class Trace:
     are sorted by start time with ``worker``/``tid`` resolved (slot ``n``
     becomes ``worker-n`` with Chrome tid ``n``; non-slot threads become
     ``thread-i`` with tids starting at :data:`EXTERNAL_TID_BASE`).
+    ``gauges`` holds each worker's *last* observation; ``gauge_peaks``
+    holds the per-worker high-water mark across the whole recording
+    (what the analytics roll up for byte gauges re-set across regions).
     """
 
     events: tuple
     counters: dict
     gauges: dict
     meta: dict = field(default_factory=dict)
+    gauge_peaks: dict = field(default_factory=dict)
 
     @property
     def t0(self) -> float:
@@ -274,8 +282,18 @@ class Tracer:
         counters[name] = counters.get(name, 0.0) + value
 
     def gauge(self, name: str, value: float) -> None:
-        """Set this worker's last-observed value for gauge ``name``."""
-        self._buffer().gauges[name] = float(value)
+        """Set this worker's last-observed value for gauge ``name``.
+
+        The per-worker high-water mark is tracked alongside, so a gauge
+        re-set across regions (an arena shrinking between kernels) still
+        reports its true peak through :attr:`Trace.gauge_peaks`.
+        """
+        buf = self._buffer()
+        value = float(value)
+        buf.gauges[name] = value
+        peak = buf.gauge_peaks.get(name)
+        if peak is None or value > peak:
+            buf.gauge_peaks[name] = value
 
     # -- lifecycle ----------------------------------------------------- #
     def install(self) -> "Tracer":
@@ -321,6 +339,7 @@ class Tracer:
         events: list[SpanEvent] = []
         counters: dict[str, dict[str, float]] = {}
         gauges: dict[str, dict[str, float]] = {}
+        gauge_peaks: dict[str, dict[str, float]] = {}
         for buf in buffers:
             label, tid = labels[buf.key]
             for e in buf.events:
@@ -330,12 +349,15 @@ class Tracer:
                 counters.setdefault(name, {})[label] = value
             for name, value in buf.gauges.items():
                 gauges.setdefault(name, {})[label] = value
+            for name, value in buf.gauge_peaks.items():
+                gauge_peaks.setdefault(name, {})[label] = value
         events.sort(key=lambda e: (e.t0, e.t1))
         return Trace(
             events=tuple(events),
             counters=counters,
             gauges=gauges,
             meta=dict(self.meta),
+            gauge_peaks=gauge_peaks,
         )
 
 

@@ -1,0 +1,126 @@
+"""Tests for roofline attribution (repro.obs.attribution)."""
+
+import pytest
+
+from repro.kernels.flops import KernelCost
+from repro.obs import (
+    CAT_KERNEL,
+    COMPUTE_BOUND,
+    MEMORY_BOUND,
+    Tracer,
+    attach_to_trace,
+    attribute,
+    classify_boundedness,
+    effective_bandwidth_gbs,
+)
+from repro.roofline import RooflineModel, get_platform
+from repro.types import Format, Kernel
+
+
+def _model():
+    return RooflineModel(get_platform("Bluesky"))
+
+
+def _cost(flops=1e6, nbytes=1e7):
+    return KernelCost(Kernel.TTV, Format.COO, float(flops), float(nbytes))
+
+
+class TestClassification:
+    def test_boundedness_splits_at_the_ridge(self):
+        assert classify_boundedness(0.1, 4.0) == MEMORY_BOUND
+        assert classify_boundedness(8.0, 4.0) == COMPUTE_BOUND
+        assert classify_boundedness(4.0, 4.0) == COMPUTE_BOUND
+
+    def test_effective_bandwidth(self):
+        assert effective_bandwidth_gbs(2e9, 1.0) == pytest.approx(2.0)
+        assert effective_bandwidth_gbs(1e9, 0.0) == 0.0
+
+
+class TestAttribute:
+    def test_memory_bound_attribution(self):
+        model = _model()
+        cost = _cost()  # OI = 0.1, far left of Bluesky's ridge
+        attr = attribute(model, cost, seconds=1e-4, host_seconds=1e-3)
+        assert attr.platform == "Bluesky"
+        assert attr.kernel == "ttv" and attr.fmt == "coo"
+        assert attr.oi == pytest.approx(0.1)
+        assert attr.boundedness == MEMORY_BOUND
+        # The bound is the memory roof: OI x ERT-DRAM bandwidth.
+        assert attr.bound_gflops == pytest.approx(
+            cost.oi * model.platform.ert_dram_bw_gbs
+        )
+        assert attr.achieved_gflops == pytest.approx(1e6 / 1e-4 / 1e9)
+        assert attr.bound_fraction == pytest.approx(
+            attr.achieved_gflops / attr.bound_gflops
+        )
+        # Effective bw uses the *host* measurement: 1e7 B / 1e-3 s.
+        assert attr.effective_bw_gbs == pytest.approx(10.0)
+        assert attr.bw_fraction == pytest.approx(
+            10.0 / model.platform.ert_dram_bw_gbs
+        )
+
+    def test_unmeasured_host_gives_zero_bandwidth(self):
+        attr = attribute(_model(), _cost(), seconds=1e-4, host_seconds=0.0)
+        assert attr.effective_bw_gbs == 0.0
+        assert attr.bw_fraction == 0.0
+
+    def test_compute_bound_attribution(self):
+        model = _model()
+        # OI of 100 flops/byte sits right of any CPU ridge point.
+        cost = KernelCost(Kernel.MTTKRP, Format.HICOO, 1e9, 1e7)
+        attr = attribute(model, cost, seconds=1.0)
+        assert attr.boundedness == COMPUTE_BOUND
+        assert attr.bound_gflops == pytest.approx(model.platform.peak_sp_gflops)
+
+    def test_as_dict_is_json_safe_and_complete(self):
+        import json
+
+        attr = attribute(_model(), _cost(), seconds=1e-4, host_seconds=1e-3)
+        d = attr.as_dict()
+        assert json.loads(json.dumps(d)) == d
+        assert set(d) == {
+            "platform", "kernel", "fmt", "oi", "ridge_oi", "bound_gflops",
+            "achieved_gflops", "bound_fraction", "boundedness",
+            "modeled_flops", "modeled_bytes", "bw_ceiling_gbs",
+            "effective_bw_gbs", "bw_fraction",
+        }
+
+
+class TestAttachToTrace:
+    def test_kernel_spans_gain_roofline_attrs(self):
+        tracer = Tracer()
+        with tracer.span("ttv", cat=CAT_KERNEL, mode=0):
+            pass
+        with tracer.span("chunk0", cat="chunk"):
+            pass
+        trace = tracer.freeze()
+        attr = attribute(_model(), _cost(), seconds=1e-4, host_seconds=1e-3)
+        out = attach_to_trace(trace, attr)
+        assert out is trace
+        (kspan,) = trace.spans(CAT_KERNEL)
+        assert kspan.attrs["roofline.boundedness"] == MEMORY_BOUND
+        assert kspan.attrs["roofline.bound_fraction"] == pytest.approx(
+            attr.bound_fraction, abs=1e-4
+        )
+        # Non-kernel spans stay untouched.
+        (chunk,) = trace.spans("chunk")
+        assert not any(k.startswith("roofline.") for k in chunk.attrs)
+
+
+class TestRunnerIntegration:
+    def test_records_carry_roofline_block(self):
+        from repro.bench import RunnerConfig, SuiteRunner
+        from repro.generate import powerlaw_tensor
+        from repro.roofline import PLATFORMS
+
+        cfg = RunnerConfig(
+            measure_host=False, kernels=(Kernel.TTV,), formats=(Format.COO,)
+        )
+        x = powerlaw_tensor((40, 30, 8), nnz=500, seed=5)
+        for platform in PLATFORMS:
+            (rec,) = SuiteRunner(platform, cfg).run_tensor("t", x)
+            block = rec.extra["roofline"]
+            assert block["platform"] == platform.name
+            assert block["bound_gflops"] == pytest.approx(rec.bound_gflops)
+            assert block["bound_fraction"] == pytest.approx(rec.efficiency)
+            assert block["boundedness"] in (MEMORY_BOUND, COMPUTE_BOUND)

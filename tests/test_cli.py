@@ -135,3 +135,107 @@ class TestConvert:
         out = capsys.readouterr().out
         assert "HiCOO" in out
         assert load_npz(dst).nnz == 150
+
+
+class TestObservability:
+    def _sweep(self, tmp_path, name):
+        store = tmp_path / name
+        rc = main([
+            "sweep", "--dataset", "synthetic", "--tensors", "regS", "irrS",
+            "--scale", "300", "--isolation", "inline", "--measure-host",
+            "--store", str(store),
+        ])
+        assert rc == 0
+        return store
+
+    def test_report_from_store(self, tmp_path, capsys):
+        store = self._sweep(tmp_path, "a.jsonl")
+        capsys.readouterr()
+        assert main(["report", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "Observation 1" in out and "Observation 5" in out
+        assert "bound" in out
+
+    def test_report_markdown_and_json(self, tmp_path, capsys):
+        import json
+
+        store = self._sweep(tmp_path, "a.jsonl")
+        capsys.readouterr()
+        assert main(["report", "--store", str(store), "--format", "markdown"]) == 0
+        assert "|---|" in capsys.readouterr().out
+        assert main(["report", "--store", str(store), "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["nrecords"] > 0 and len(doc["sections"]) == 5
+
+    def test_report_empty_store_fails(self, tmp_path, capsys):
+        empty = tmp_path / "e.jsonl"
+        empty.write_text("")
+        assert main(["report", "--store", str(empty)]) == 1
+
+    def test_regress_self_compare_is_clean(self, tmp_path, capsys):
+        store = self._sweep(tmp_path, "a.jsonl")
+        capsys.readouterr()
+        assert main(["regress", str(store), str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "0 regressed" in out
+
+    def test_regress_detects_injected_slowdown(self, tmp_path, capsys, monkeypatch):
+        a = self._sweep(tmp_path, "a.jsonl")
+        monkeypatch.setenv("REPRO_PERF_DRAG", "ttv:0.05")
+        b = self._sweep(tmp_path, "b.jsonl")
+        monkeypatch.delenv("REPRO_PERF_DRAG")
+        capsys.readouterr()
+        rc = main(["regress", str(a), str(b), "--threshold", "3.0"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "ttv/coo" in out and "regressed" in out
+
+    def test_regress_json_output(self, tmp_path, capsys):
+        import json
+
+        store = self._sweep(tmp_path, "a.jsonl")
+        capsys.readouterr()
+        assert main(["regress", str(store), str(store), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["exit_code"] == 0
+        assert all(g["classification"] == "neutral" for g in doc["groups"])
+
+    def test_regress_missing_input_exits_two(self, tmp_path, capsys):
+        assert main(["regress", "/nonexistent/a.jsonl", "/nonexistent/b.jsonl"]) == 2
+
+    def test_metrics_from_store(self, tmp_path, capsys):
+        import json
+
+        store = self._sweep(tmp_path, "a.jsonl")
+        capsys.readouterr()
+        assert main(["metrics", "--store", str(store)]) == 0
+        prom = capsys.readouterr().out
+        assert "# TYPE exec_completed counter" in prom
+        assert 'kernel="ttv"' in prom
+        assert main(["metrics", "--store", str(store), "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "exec.completed" in doc["counters"]
+
+    def test_sweep_writes_metrics_file(self, tmp_path, capsys):
+        store = tmp_path / "a.jsonl"
+        prom_path = tmp_path / "m.prom"
+        rc = main([
+            "sweep", "--dataset", "synthetic", "--tensors", "irrS",
+            "--scale", "300", "--isolation", "inline",
+            "--store", str(store), "--metrics", str(prom_path),
+        ])
+        assert rc == 0
+        text = prom_path.read_text()
+        assert "# TYPE exec_completed counter" in text
+        assert "exec_case_seconds_bucket" in text
+
+    def test_trace_prints_attribution(self, tmp_path, capsys):
+        rc = main([
+            "trace", "--kernel", "ttv", "--fmt", "coo",
+            "--shape", "60", "40", "10", "--nnz", "600",
+            "-o", str(tmp_path / "trace.json"),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "roofline (Bluesky)" in out
+        assert "bound fraction" in out and "effective DRAM bw" in out

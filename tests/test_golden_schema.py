@@ -253,3 +253,73 @@ class TestChromeTraceSchema:
     def test_export_is_json_serializable(self):
         doc = traced()
         assert json.loads(json.dumps(doc)) == doc
+
+
+# ---------------------------------------------------------------------- #
+# Roofline attribution block (PerfRecord.extra["roofline"])
+# ---------------------------------------------------------------------- #
+
+ROOFLINE_KEYS = {
+    "platform",
+    "kernel",
+    "fmt",
+    "oi",
+    "ridge_oi",
+    "bound_gflops",
+    "achieved_gflops",
+    "bound_fraction",
+    "boundedness",
+    "modeled_flops",
+    "modeled_bytes",
+    "bw_ceiling_gbs",
+    "effective_bw_gbs",
+    "bw_fraction",
+}
+
+
+class TestRooflineBlockSchema:
+    def _block(self):
+        from repro.kernels.flops import KernelCost
+        from repro.obs import attribute
+        from repro.roofline import RooflineModel, get_platform
+        from repro.types import Format, Kernel
+
+        model = RooflineModel(get_platform("Bluesky"))
+        cost = KernelCost(Kernel.TTV, Format.COO, 1e6, 1e7)
+        return attribute(model, cost, seconds=1e-4, host_seconds=1e-3).as_dict()
+
+    def test_block_keys_are_pinned(self):
+        assert set(self._block()) == ROOFLINE_KEYS
+
+    def test_block_rides_record_wire_format(self):
+        rec = sample_record(extra={"roofline": self._block()})
+        back = PerfRecord.from_dict(json.loads(json.dumps(rec.to_dict())))
+        assert set(back.extra["roofline"]) == ROOFLINE_KEYS
+        assert back.extra["roofline"]["boundedness"] in ("memory", "compute")
+
+
+# ---------------------------------------------------------------------- #
+# Prometheus text exposition
+# ---------------------------------------------------------------------- #
+
+
+class TestPrometheusExportGolden:
+    def test_exact_render(self):
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.inc("exec.completed", 3, kernel="mttkrp", fmt="hicoo")
+        reg.set_gauge("ws.bytes", 4096.0, pool="main")
+        reg.observe("case_s", 0.02, buckets=(0.01, 0.1), kernel="mttkrp")
+        assert reg.render_prometheus() == (
+            "# TYPE case_s histogram\n"
+            'case_s_bucket{kernel="mttkrp",le="0.01"} 0\n'
+            'case_s_bucket{kernel="mttkrp",le="0.1"} 1\n'
+            'case_s_bucket{kernel="mttkrp",le="+Inf"} 1\n'
+            'case_s_sum{kernel="mttkrp"} 0.02\n'
+            'case_s_count{kernel="mttkrp"} 1\n'
+            "# TYPE exec_completed counter\n"
+            'exec_completed{fmt="hicoo",kernel="mttkrp"} 3\n'
+            "# TYPE ws_bytes gauge\n"
+            'ws_bytes{pool="main"} 4096\n'
+        )

@@ -6,8 +6,12 @@ from repro.metrics import (
     PerfRecord,
     average_efficiency,
     average_gflops,
+    bootstrap_ci,
+    drop_nonpositive,
     efficiency,
     geomean,
+    geomean_detail,
+    geomean_ratio_ci,
     gflops,
     gflops_range,
     group_by,
@@ -49,8 +53,21 @@ class TestBasics:
 
     def test_geomean(self):
         assert geomean([1.0, 100.0]) == pytest.approx(10.0)
-        assert geomean([]) == 0.0
-        assert geomean([0.0, -1.0]) == 0.0  # non-positive dropped
+        # No data is None, not a fake 0.0 measurement.
+        assert geomean([]) is None
+        assert geomean([0.0, -1.0]) is None  # non-positive dropped
+
+    def test_geomean_detail_reports_dropped(self):
+        detail = geomean_detail([2.0, 8.0, 0.0, -3.0])
+        assert detail.value == pytest.approx(4.0)
+        assert detail.n_used == 2
+        assert detail.n_dropped == 2
+        empty = geomean_detail([])
+        assert empty.value is None and empty.n_dropped == 0
+
+    def test_drop_nonpositive(self):
+        kept, dropped = drop_nonpositive([1.0, 0.0, -2.0, 3.0])
+        assert kept == [1.0, 3.0] and dropped == 2
 
 
 class TestAggregation:
@@ -80,4 +97,40 @@ class TestAggregation:
     def test_gflops_range(self, records):
         lo, hi = gflops_range(records)
         assert lo == 2.0 and hi == 40.0
-        assert gflops_range([]) == (0.0, 0.0)
+        # An empty group has no range, not a (0, 0) one.
+        assert gflops_range([]) is None
+
+
+class TestBootstrap:
+    def test_ci_brackets_the_mean(self):
+        ci = bootstrap_ci([1.0, 2.0, 3.0, 4.0, 5.0], seed=7)
+        assert ci.estimate == pytest.approx(3.0)
+        assert ci.lo <= ci.estimate <= ci.hi
+        assert ci.n == 5 and ci.confidence == 0.95
+
+    def test_seeded_rng_is_reproducible(self):
+        values = [1.1, 0.9, 1.3, 1.0, 1.2, 0.8]
+        a = bootstrap_ci(values, seed=42)
+        b = bootstrap_ci(values, seed=42)
+        assert (a.lo, a.hi) == (b.lo, b.hi)
+        c = bootstrap_ci(values, seed=43)
+        assert (a.lo, a.hi) != (c.lo, c.hi)
+
+    def test_empty_and_singleton(self):
+        assert bootstrap_ci([]) is None
+        ci = bootstrap_ci([2.5])
+        assert (ci.estimate, ci.lo, ci.hi) == (2.5, 2.5, 2.5)
+
+    def test_geomean_ratio_ci(self):
+        # Identical ratios collapse to a degenerate interval at the value.
+        ci = geomean_ratio_ci([2.0, 2.0, 2.0], seed=0)
+        assert ci.estimate == pytest.approx(2.0)
+        assert ci.lo == pytest.approx(2.0) and ci.hi == pytest.approx(2.0)
+        # A consistent 2x slowdown excludes 1.0 with spread ratios too.
+        ci = geomean_ratio_ci([1.9, 2.1, 2.0, 1.95, 2.05], seed=0)
+        assert ci.excludes(1.0)
+        assert geomean_ratio_ci([0.0, -1.0]) is None
+
+    def test_ci_excludes(self):
+        ci = bootstrap_ci([1.0, 1.0, 1.0])
+        assert ci.excludes(2.0) and not ci.excludes(1.0)

@@ -364,3 +364,46 @@ class TestRunnerTrace:
         assert 0.0 <= obs["busy_frac"] <= 1.0
         assert obs["counters"]["kernel.nnz_processed"] > 0
         assert current_tracer() is NULL_TRACER
+
+
+class TestGaugeRollup:
+    def test_tracer_tracks_gauge_peaks(self):
+        tracer = Tracer()
+        tracer.gauge("bytes", 256)
+        tracer.gauge("bytes", 64)  # re-set lower: last wins, peak stays
+        trace = tracer.freeze()
+        assert list(trace.gauges["bytes"].values()) == [64.0]
+        assert list(trace.gauge_peaks["bytes"].values()) == [256.0]
+
+    def test_rollup_is_max_per_worker_then_sum(self):
+        from repro.obs import rollup_gauges
+
+        # Two workers, each re-setting the gauge across "regions": the
+        # rollup must sum each worker's peak, not the per-observation sum
+        # (which double-counts) nor the shrunken last values.
+        trace = Trace(
+            events=(),
+            counters={},
+            gauges={"ws.arena_bytes": {"worker-0": 100.0, "worker-1": 50.0}},
+            gauge_peaks={"ws.arena_bytes": {"worker-0": 400.0, "worker-1": 300.0}},
+        )
+        assert rollup_gauges(trace) == {"ws.arena_bytes": 700.0}
+        assert analyze(trace).gauges == {"ws.arena_bytes": 700.0}
+
+    def test_rollup_falls_back_to_last_values(self):
+        from repro.obs import rollup_gauges
+
+        # Hand-built traces (and old snapshots) carry no peaks: the last
+        # values stand in, preserving the one-arena-per-slot sum.
+        trace = Trace(
+            events=(), counters={},
+            gauges={"g": {"worker-0": 10.0, "worker-1": 20.0}},
+        )
+        assert rollup_gauges(trace) == {"g": 30.0}
+
+    def test_analyze_uses_peaks_not_last_values(self):
+        tracer = Tracer()
+        tracer.gauge("ws.arena_bytes", 4096)
+        tracer.gauge("ws.arena_bytes", 1024)  # arena shrank between regions
+        stats = analyze(tracer.freeze())
+        assert stats.gauges["ws.arena_bytes"] == 4096.0
