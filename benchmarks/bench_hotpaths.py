@@ -1,19 +1,34 @@
-"""Hot-path harness: kernel × format × method × schedule wall-clock.
+"""Hot-path harness: kernel × format × method × schedule × tier wall-clock.
 
 Times the scatter-add kernels (Mttkrp on COO/HiCOO) and the fiber-parallel
 kernels (Ttv/Ttm) across update methods (``atomic`` with arena vs per-chunk
-privatization, ``sort``, ``owner``), schedules, and backends, and writes
-``BENCH_kernels.json`` at the repo root.  The JSON is committed so every PR
-has a perf trajectory to compare against:
+privatization, ``sort``, ``owner``), schedules, backends, and execution
+tiers (``numpy`` vs ``compiled``), and writes ``BENCH_kernels.json`` at the
+repo root.  The JSON is committed so every PR has a perf trajectory to
+compare against:
 
     PYTHONPATH=src python benchmarks/bench_hotpaths.py            # full
     PYTHONPATH=src python benchmarks/bench_hotpaths.py --quick    # CI smoke
 
-Two invariants are asserted and recorded under ``checks``:
+Every entry carries a ``tier`` tag; the compiled-tier entries mirror the
+NumPy-tier identities cell for cell, so splitting the file by tier yields
+two regress-comparable baselines (the CI ``compiled-gate`` does exactly
+that).  One-time costs — Numba JIT compilation and fallback scatter-plan
+construction — land in warmup, are measured through
+:func:`repro.compiled.compile_stats`, and are reported separately as
+``compile_s`` per entry so ``median_s`` stays steady-state.  Each entry is
+also attributed against the Bluesky CPU roofline
+(``bound_fraction = achieved / min(peak, OI x ERT-DRAM)``).
+
+Invariants asserted and recorded under ``checks``:
 
 * the per-thread arena path beats the seed's per-chunk privatization on
-  COO-Mttkrp (dynamic schedule, >= 4 threads) — the tentpole claim;
-* ``method="owner"`` is bit-identical to the sequential kernel.
+  COO-Mttkrp (NumPy tier, dynamic schedule, >= 4 threads);
+* ``method="owner"`` is bit-identical to the sequential kernel;
+* the compiled tier is bit-identical to its NumPy-tier contract partners
+  (owner vs sequential, sort vs the NumPy sort tier);
+* the compiled tier is >= 2x faster than the NumPy tier on COO-Mttkrp for
+  at least one method (asserted at full size only).
 """
 
 from __future__ import annotations
@@ -26,10 +41,14 @@ import time
 
 import numpy as np
 
+from repro.compiled import available as compiled_available
+from repro.compiled import compile_stats
 from repro.generate import powerlaw_tensor
 from repro.kernels import coo_mttkrp, coo_ttm, coo_ttv, hicoo_mttkrp
 from repro.obs import Tracer, analyze, chrome_trace
+from repro.obs.attribution import attribute
 from repro.parallel import OpenMPBackend, get_backend
+from repro.roofline import BLUESKY, RooflineModel
 from repro.roofline.oi import cost_for, extract_features
 from repro.sptensor import HiCOOTensor
 
@@ -37,11 +56,24 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_kernels.json")
 RANK = 16
 BLOCK = 128
+TIERS = ("numpy", "compiled")
+
+#: Entry keys that are measurements; everything else is identity tags
+#: (must mirror ``repro.bench.regress._BENCH_VALUE_KEYS``).
+_VALUE_KEYS = {
+    "median_s", "min_s", "reps", "compile_s",
+    "imbalance", "busy_frac", "eff_bw_gbs", "bound_fraction",
+}
 
 
 def _time(fn, reps: int, warmup: int = 1) -> dict:
+    # One-time costs (Numba JIT compiles, fallback scatter-plan builds)
+    # land in warmup; the compile-stats delta around it is reported as
+    # compile_s so median_s measures only steady-state execution.
+    c0 = compile_stats()["compile_seconds"]
     for _ in range(warmup):
         fn()
+    compile_s = compile_stats()["compile_seconds"] - c0
     samples = []
     for _ in range(reps):
         t0 = time.perf_counter()
@@ -50,6 +82,7 @@ def _time(fn, reps: int, warmup: int = 1) -> dict:
     return {
         "median_s": round(statistics.median(samples), 6),
         "min_s": round(min(samples), 6),
+        "compile_s": round(compile_s, 6),
         "reps": reps,
     }
 
@@ -61,9 +94,11 @@ def run(quick: bool, nthreads: int, reps: int, trace_path: str | None = None) ->
     rng = np.random.default_rng(1)
     mats = [rng.random((s, RANK)).astype(np.float32) for s in x.shape]
     vec = rng.random(x.shape[1]).astype(np.float32)
+    u = rng.random((x.shape[1], RANK)).astype(np.float32)
     seq = get_backend("sequential")
     omp = OpenMPBackend(nthreads=nthreads)
     features = extract_features(x, "bench", BLOCK, hicoo=h)
+    model = RooflineModel(BLUESKY)
 
     results = []
     traces: list = []
@@ -76,6 +111,8 @@ def run(quick: bool, nthreads: int, reps: int, trace_path: str | None = None) ->
         cost = cost_for(features, kernel, fmt, r=RANK)
         if entry["median_s"] > 0:
             entry["eff_bw_gbs"] = round(cost.bytes / entry["median_s"] / 1e9, 3)
+            att = attribute(model, cost, entry["median_s"], entry["median_s"])
+            entry["bound_fraction"] = round(att.bound_fraction, 4)
         if backend != "sequential":
             # One traced rerun *after* the timing loop: the tracer is only
             # installed here, so the recorded medians keep the untraced
@@ -95,58 +132,95 @@ def run(quick: bool, nthreads: int, reps: int, trace_path: str | None = None) ->
         results.append(entry)
         return entry
 
-    # --- Mttkrp: the scatter-add ablation ----------------------------- #
-    record("mttkrp", "coo", "sequential", 1,
-           lambda: coo_mttkrp(x, mats, 0, seq), method="atomic")
     timings = {}
-    for schedule in ("static", "dynamic"):
+    for tier in TIERS:
+        # --- Mttkrp: the scatter-add ablation ------------------------- #
+        record("mttkrp", "coo", "sequential", 1,
+               lambda t=tier: coo_mttkrp(x, mats, 0, seq, tier=t),
+               method="atomic", tier=tier)
+        for schedule in ("static", "dynamic"):
+            for privatize in ("arena", "chunk"):
+                e = record(
+                    "mttkrp", "coo", "openmp", nthreads,
+                    lambda s=schedule, p=privatize, t=tier: coo_mttkrp(
+                        x, mats, 0, omp, method="atomic", schedule=s,
+                        privatize=p, tier=t,
+                    ),
+                    method="atomic", schedule=schedule, privatize=privatize,
+                    tier=tier,
+                )
+                timings[(tier, schedule, privatize)] = e["median_s"]
+        for method in ("sort", "owner"):
+            record("mttkrp", "coo", "openmp", nthreads,
+                   lambda m=method, t=tier: coo_mttkrp(
+                       x, mats, 0, omp, method=m, tier=t),
+                   method=method, tier=tier)
+
+        record("mttkrp", "hicoo", "sequential", 1,
+               lambda t=tier: hicoo_mttkrp(h, mats, 0, seq, tier=t),
+               method="atomic", tier=tier)
         for privatize in ("arena", "chunk"):
-            e = record(
-                "mttkrp", "coo", "openmp", nthreads,
-                lambda s=schedule, p=privatize: coo_mttkrp(
-                    x, mats, 0, omp, method="atomic", schedule=s, privatize=p
-                ),
-                method="atomic", schedule=schedule, privatize=privatize,
-            )
-            timings[(schedule, privatize)] = e["median_s"]
-    for method in ("sort", "owner"):
-        record("mttkrp", "coo", "openmp", nthreads,
-               lambda m=method: coo_mttkrp(x, mats, 0, omp, method=m),
-               method=method)
-
-    record("mttkrp", "hicoo", "sequential", 1,
-           lambda: hicoo_mttkrp(h, mats, 0, seq), method="atomic")
-    for privatize in ("arena", "chunk"):
+            record("mttkrp", "hicoo", "openmp", nthreads,
+                   lambda p=privatize, t=tier: hicoo_mttkrp(
+                       h, mats, 0, omp, method="atomic", privatize=p, tier=t),
+                   method="atomic", schedule="dynamic", privatize=privatize,
+                   tier=tier)
         record("mttkrp", "hicoo", "openmp", nthreads,
-               lambda p=privatize: hicoo_mttkrp(
-                   h, mats, 0, omp, method="atomic", privatize=p),
-               method="atomic", schedule="dynamic", privatize=privatize)
-    record("mttkrp", "hicoo", "openmp", nthreads,
-           lambda: hicoo_mttkrp(h, mats, 0, omp, method="owner"),
-           method="owner")
+               lambda t=tier: hicoo_mttkrp(h, mats, 0, omp, method="owner",
+                                           tier=t),
+               method="owner", tier=tier)
 
-    # --- Ttv / Ttm: fiber partitioning -------------------------------- #
-    u = rng.random((x.shape[1], RANK)).astype(np.float32)
-    for partition in ("uniform", "balanced"):
-        record("ttv", "coo", "openmp", nthreads,
-               lambda p=partition: coo_ttv(x, vec, 1, omp, partition=p),
-               partition=partition)
-        record("ttm", "coo", "openmp", nthreads,
-               lambda p=partition: coo_ttm(x, u, 1, omp, partition=p),
-               partition=partition)
+        # --- Ttv / Ttm: fiber partitioning ---------------------------- #
+        for partition in ("uniform", "balanced"):
+            record("ttv", "coo", "openmp", nthreads,
+                   lambda p=partition, t=tier: coo_ttv(
+                       x, vec, 1, omp, partition=p, tier=t),
+                   partition=partition, tier=tier)
+            record("ttm", "coo", "openmp", nthreads,
+                   lambda p=partition, t=tier: coo_ttm(
+                       x, u, 1, omp, partition=p, tier=t),
+                   partition=partition, tier=tier)
 
     # --- Invariant checks (recorded, and asserted below) --------------- #
     ref = coo_mttkrp(x, mats, 0, seq)
     owner_seq = coo_mttkrp(x, mats, 0, seq, method="owner")
     owner_par = coo_mttkrp(x, mats, 0, omp, method="owner")
-    arena_s = timings[("dynamic", "arena")]
-    chunk_s = timings[("dynamic", "chunk")]
+    # Compiled-tier bit-compat contracts: owner accumulates linearly in
+    # storage order (np.add.at's schedule) so it must match the sequential
+    # kernel bit for bit; sort reduces pairwise, so its partner is the
+    # NumPy sort tier, not the sequential kernel.
+    comp_owner = coo_mttkrp(x, mats, 0, omp, method="owner", tier="compiled")
+    sort_np = coo_mttkrp(x, mats, 0, omp, method="sort")
+    comp_sort = coo_mttkrp(x, mats, 0, omp, method="sort", tier="compiled")
+
+    # Best compiled-over-numpy speedup across matched COO-Mttkrp cells.
+    cells: dict = {}
+    for e in results:
+        if e["kernel"] == "mttkrp" and e["format"] == "coo":
+            key = tuple(sorted(
+                (k, str(v)) for k, v in e.items()
+                if k not in _VALUE_KEYS and k != "tier"
+            ))
+            cells.setdefault(key, {})[e["tier"]] = e["median_s"]
+    speedups = [
+        c["numpy"] / c["compiled"] for c in cells.values()
+        if c.get("compiled", 0) > 0 and "numpy" in c
+    ]
+
+    arena_s = timings[("numpy", "dynamic", "arena")]
+    chunk_s = timings[("numpy", "dynamic", "chunk")]
     checks = {
         "arena_beats_chunk_coo_dynamic": bool(arena_s < chunk_s),
         "arena_speedup_vs_chunk_dynamic": round(chunk_s / arena_s, 3),
         "owner_bitidentical_to_sequential": bool(
             np.array_equal(ref, owner_seq) and np.array_equal(ref, owner_par)
         ),
+        "compiled_bitidentical_to_numpy": bool(
+            np.array_equal(ref, comp_owner)
+            and np.array_equal(sort_np, comp_sort)
+        ),
+        "compiled_speedup_coo_mttkrp": round(max(speedups), 3),
+        "compiled_2x_coo_mttkrp": bool(max(speedups) >= 2.0),
     }
     omp.shutdown()
 
@@ -166,6 +240,7 @@ def run(quick: bool, nthreads: int, reps: int, trace_path: str | None = None) ->
             f.write("\n")
         print(f"wrote Chrome trace ({len(traces)} traced reruns) -> {trace_path}")
 
+    stats = compile_stats()
     return {
         "meta": {
             "tensor": {"shape": list(shape), "nnz": int(x.nnz),
@@ -176,6 +251,14 @@ def run(quick: bool, nthreads: int, reps: int, trace_path: str | None = None) ->
             "host_cpus": os.cpu_count(),
             "numpy": np.__version__,
             "quick": quick,
+            "roofline_platform": BLUESKY.name,
+            "compiled": {
+                "numba_available": compiled_available(),
+                "calls": stats["calls"],
+                "fallback_calls": stats["fallback_calls"],
+                "jit_compiles": stats["jit_compiles"],
+                "compile_seconds": round(stats["compile_seconds"], 6),
+            },
         },
         "results": results,
         "checks": checks,
@@ -206,10 +289,17 @@ def main() -> None:
         print(f"  {key}: {val}")
     if not report["checks"]["owner_bitidentical_to_sequential"]:
         raise SystemExit("FAIL: owner method not bit-identical to sequential")
-    # The timing check is only meaningful at full size; the quick smoke's
+    if not report["checks"]["compiled_bitidentical_to_numpy"]:
+        raise SystemExit("FAIL: compiled tier not bit-identical to NumPy tier")
+    # Timing checks are only meaningful at full size; the quick smoke's
     # tiny tensor produces too few chunks for a stable margin on noisy CI.
-    if not args.quick and not report["checks"]["arena_beats_chunk_coo_dynamic"]:
-        raise SystemExit("FAIL: arena privatization did not beat per-chunk")
+    if not args.quick:
+        if not report["checks"]["arena_beats_chunk_coo_dynamic"]:
+            raise SystemExit("FAIL: arena privatization did not beat per-chunk")
+        if not report["checks"]["compiled_2x_coo_mttkrp"]:
+            raise SystemExit(
+                "FAIL: compiled tier < 2x NumPy tier on COO-Mttkrp"
+            )
 
 
 if __name__ == "__main__":

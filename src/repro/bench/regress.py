@@ -40,7 +40,8 @@ INSUFFICIENT = "insufficient-data"
 
 #: Bench-harness entry keys that are measurements, not identity tags.
 _BENCH_VALUE_KEYS = {
-    "median_s", "min_s", "reps", "imbalance", "busy_frac", "eff_bw_gbs",
+    "median_s", "min_s", "reps", "compile_s",
+    "imbalance", "busy_frac", "eff_bw_gbs", "bound_fraction",
 }
 
 

@@ -1,0 +1,108 @@
+"""Fused single-dispatch NumPy lowering of the loop-nest descriptors.
+
+This is the compiled tier's execution path when Numba is absent — and the
+bit-compatibility reference when it is present.  Where the NumPy tier
+pays a Python-level chunk dispatch per schedule chunk plus an
+``np.add.at`` scatter (an unbuffered per-element C loop), the fallback
+lowers each descriptor to *one* vectorized pipeline with all structural
+work hoisted into cached :mod:`repro.compiled.plans`:
+
+* ``dense-rows`` scatter (Mttkrp ``atomic``/``owner``) — a cached CSR
+  selection operator turns the scatter-add into one sparse-dense matmul
+  in C.  CSR row accumulation is *linear* in storage order, which is
+  exactly ``np.add.at``'s schedule — so the owner lowering is
+  **bit-identical** to the NumPy owner tier (itself bit-identical to the
+  sequential kernel);
+* ``segments`` scatter (Mttkrp ``sort``, Ttv/Ttm fibers) — one
+  ``np.add.reduceat`` over plan-cached segment starts, the *same
+  pairwise* reduction the NumPy sort tier and fiber loops run, hence
+  **bit-identical** to them per segment;
+* ``positional`` scatter (Tew/Ts) — one fused ufunc call over the whole
+  value array (bit-identical: chunking a ufunc never changes results).
+
+The contribution computation deliberately mirrors
+``repro.kernels.mttkrp._row_contributions`` operation-for-operation
+(first multiply allocates, later ones run in place) so the fallback's
+rounding matches the NumPy tier exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compiled.plans import ScatterPlan, scatter_plan
+
+
+def mttkrp_contrib(values, cols, mats, dtype) -> np.ndarray:
+    """``contrib[k, :] = x_k * prod_{m != mode} U(m)[i_m(k), :]``.
+
+    Same operation order as the NumPy tier's ``_row_contributions`` —
+    the bit-compatibility contract of the deterministic methods.
+    """
+    contrib = values.astype(dtype, copy=True)[:, None]
+    first = True
+    for col, u in zip(cols, mats):
+        if u is None:
+            continue
+        rows_u = u[col, :]
+        if first:
+            contrib = contrib * rows_u
+            first = False
+        else:
+            contrib *= rows_u
+    return contrib
+
+
+def scatter_dense_rows(out: np.ndarray, plan: ScatterPlan, contrib: np.ndarray) -> None:
+    """Mttkrp ``atomic``/``owner`` scatter: one CSR matmul whose linear
+    per-row accumulation replays ``np.add.at``'s schedule bit-for-bit."""
+    out += plan.csr() @ contrib
+
+
+def scatter_segments(out: np.ndarray, plan: ScatterPlan, contrib: np.ndarray) -> None:
+    """Mttkrp ``sort`` scatter: stable-order segmented reduce.
+
+    Per output row the summands arrive in sequential storage order and
+    are reduced by the same pairwise ``np.add.reduceat`` the NumPy sort
+    tier runs — the identical floating-point schedule, hence bit-identical.
+    """
+    if not len(plan.starts):
+        return
+    stream = contrib if plan.order is None else contrib[plan.order]
+    out[plan.urows] += np.add.reduceat(stream, plan.starts, axis=0)
+
+
+def mttkrp(x, rows, cols, values, mats, out, method: str, tag) -> np.ndarray:
+    """Fused Mttkrp over a prepared (rows, cols, values) entry stream.
+
+    The scatter lowering is chosen to match each NumPy-tier method's
+    floating-point schedule exactly: ``atomic`` and ``owner`` accumulate
+    linearly per row in storage order (``np.add.at``'s schedule — the CSR
+    matmul reproduces it), while ``sort`` reduces with ``np.add.reduceat``
+    (pairwise) just like ``sorted_reduce_rows``.
+    """
+    contrib = mttkrp_contrib(values, cols, mats, out.dtype)
+    plan = scatter_plan(x, rows, out.shape[0], out.dtype, tag)
+    if method == "sort":
+        scatter_segments(out, plan, contrib)
+    else:  # "atomic" and "owner": linear per-row accumulation
+        scatter_dense_rows(out, plan, contrib)
+    return out
+
+
+def fiber_reduce(contrib: np.ndarray, fptr: np.ndarray, out: np.ndarray) -> None:
+    """Ttv/Ttm fiber loop: one whole-array segmented reduce.
+
+    Fibers are non-empty contiguous runs, so ``reduceat`` over
+    ``fptr[:-1]`` computes exactly the per-fiber ``reduceat`` sums the
+    chunked NumPy tier computes (a fiber's reduction schedule depends only
+    on its own entries) — bit-identical, minus the chunk dispatch.
+    """
+    if len(fptr) <= 1:
+        return
+    out[...] = np.add.reduceat(contrib, fptr[:-1].astype(np.int64), axis=0)
+
+
+def elementwise(ufunc, xv: np.ndarray, yv, out: np.ndarray) -> None:
+    """Tew/Ts value loop: a single fused ufunc dispatch."""
+    ufunc(xv, yv, out=out)

@@ -1,0 +1,137 @@
+"""Per-tensor execution plans for the compiled tier.
+
+A JIT tier amortizes compilation across calls; the fused fallback tier
+amortizes *plan construction* the same way.  A plan is everything about a
+(tensor, kernel cell) pair that does not depend on the factor matrices:
+the stable row-sort permutation, segment boundaries, the cached CSR
+scatter operator, and the owner partition.  Plans live in the tensor's
+``_plan_cache`` slot (mirroring ``COOTensor.index_column`` /
+``HiCOOTensor.global_row`` caching), so repeated kernel calls — a CP-ALS
+sweep, a benchmark rep loop — pay plan construction once; ``sort()``
+invalidates the cache along with the index-column cache.
+
+Plan-build time is the fallback tier's analog of JIT compile time: it is
+tracked through :func:`repro.compiled.tier.record_plan_build` so the
+benchmark harness can report it separately from steady-state medians.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.compiled.tier import record_plan_build
+
+
+class ScatterPlan:
+    """Cached scatter structure for one (rows, n_out, dtype) stream.
+
+    Attributes
+    ----------
+    presorted:
+        Whether the row stream was already non-decreasing (the benchmark
+        tensors are sorted by mode 0, so mode-0 Mttkrp skips the argsort).
+    order:
+        Stable argsort of the rows, or ``None`` when presorted.  Stability
+        is what keeps per-row accumulation in sequential storage order —
+        the bit-identity invariant for the sort/owner methods.
+    starts, urows:
+        Segment starts into the (sorted) stream and the output row of
+        each segment.
+    """
+
+    __slots__ = (
+        "n_out", "dtype", "presorted", "order", "starts", "urows",
+        "_csr", "_rows",
+    )
+
+    def __init__(self, rows: np.ndarray, n_out: int, dtype):
+        self.n_out = int(n_out)
+        self.dtype = np.dtype(dtype)
+        diffs = np.diff(rows)
+        self.presorted = bool(diffs.size == 0 or bool(np.all(diffs >= 0)))
+        if self.presorted:
+            self.order = None
+            sorted_rows = rows
+        else:
+            self.order = np.argsort(rows, kind="stable")
+            sorted_rows = rows[self.order]
+        if len(sorted_rows):
+            self.starts = np.concatenate(
+                ([0], np.flatnonzero(np.diff(sorted_rows)) + 1)
+            ).astype(np.int64)
+            self.urows = sorted_rows[self.starts]
+        else:
+            self.starts = np.zeros(0, dtype=np.int64)
+            self.urows = np.zeros(0, dtype=np.int64)
+        self._csr = None
+        self._rows = rows  # kept only until the CSR operator is built
+
+    def csr(self):
+        """The cached ``(n_out, M)`` CSR selection operator ``S`` with
+        ``S @ contrib`` = scatter-add (built lazily on first atomic use).
+
+        Row ``i`` of ``S`` selects exactly the stream positions targeting
+        output row ``i``, in storage order, so the compiled atomic path is
+        one sparse-dense matmul in C instead of ``np.add.at``.
+        """
+        if self._csr is None:
+            t0 = time.perf_counter()
+            import scipy.sparse as sp
+
+            rows = self._rows
+            m = len(rows)
+            self._csr = sp.csr_matrix(
+                (
+                    np.ones(m, dtype=self.dtype),
+                    (rows, np.arange(m, dtype=np.int64)),
+                ),
+                shape=(self.n_out, m),
+            )
+            record_plan_build(time.perf_counter() - t0, what="csr")
+        return self._csr
+
+
+def _cache_of(tensor) -> dict:
+    """The tensor's plan-cache dict (``_plan_cache`` slot, lazily built).
+
+    Falls back to a throwaway dict for foreign objects without the slot,
+    so the compiled tier still runs (just without cross-call reuse).
+    """
+    try:
+        cache = tensor._plan_cache
+    except AttributeError:
+        return {}
+    if cache is None:
+        cache = {}
+        tensor._plan_cache = cache
+    return cache
+
+
+def cached_plan(tensor, key: tuple, builder):
+    """``tensor._plan_cache[key]``, building (and timing) on first use."""
+    cache = _cache_of(tensor)
+    plan = cache.get(key)
+    if plan is None:
+        t0 = time.perf_counter()
+        plan = builder()
+        record_plan_build(time.perf_counter() - t0, what=str(key[0]))
+        cache[key] = plan
+    return plan
+
+
+def scatter_plan(tensor, rows: np.ndarray, n_out: int, dtype, tag) -> ScatterPlan:
+    """The tensor's cached :class:`ScatterPlan` for one scatter stream."""
+    key = ("scatter", tag, int(n_out), np.dtype(dtype).str)
+    return cached_plan(tensor, key, lambda: ScatterPlan(rows, n_out, dtype))
+
+
+def owner_plan(tensor, rows: np.ndarray, n_out: int, nparts: int, align: int, tag):
+    """The tensor's cached owner partition (``repro.parallel.ownership``)."""
+    from repro.parallel.ownership import owner_partition
+
+    key = ("owner", tag, int(n_out), int(nparts), int(align))
+    return cached_plan(
+        tensor, key, lambda: owner_partition(rows, n_out, nparts, align=align)
+    )

@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.errors import ShapeError
 from repro.types import Schedule
+from repro.compiled import resolve_tier, run_mttkrp
 from repro.obs.tracer import CAT_KERNEL, current_tracer
 from repro.kernels.contract import Access, declares_output
 from repro.parallel.atomic import atomic_add_rows, sorted_reduce_rows
@@ -251,6 +252,7 @@ def coo_mttkrp(
     method: str = "atomic",
     schedule: "Schedule | str" = Schedule.STATIC,
     privatize: str = "arena",
+    tier: "str | None" = None,
 ) -> np.ndarray:
     """COO-Mttkrp parallelized by non-zeros (ParTI's algorithm).
 
@@ -268,6 +270,11 @@ def coo_mttkrp(
         Arena strategy for the threaded ``atomic`` method: ``"arena"``
         (per-thread workspace pool, the default) or ``"chunk"`` (the seed's
         per-chunk buffers, kept as the harness ablation baseline).
+    tier:
+        Execution tier: ``"numpy"`` (the chunked loops above),
+        ``"compiled"`` (descriptor-lowered JIT/fused execution, see
+        :mod:`repro.compiled`), or ``"auto"``; ``None`` takes the
+        environment default (:func:`repro.compiled.default_tier`).
 
     Returns the updated dense matrix ``(I_mode, R)``.
     """
@@ -280,6 +287,10 @@ def coo_mttkrp(
     out = np.zeros((x.shape[mode], r), dtype=dtype)
     if x.nnz == 0:
         return out
+    exec_tier = resolve_tier(
+        tier, backend=backend, kernel="mttkrp", fmt="coo", method=method,
+        nnz=x.nnz, r=r,
+    )
     tracer = current_tracer()
     if tracer.enabled:
         tracer.count("kernel.nnz_processed", float(x.nnz))
@@ -290,13 +301,20 @@ def coo_mttkrp(
             tracer.count("kernel.atomics_issued", float(x.nnz) * r)
     with tracer.span(
         "mttkrp", cat=CAT_KERNEL, fmt="coo", mode=mode, method=method,
-        backend=backend.name, nnz=x.nnz, rank=r,
+        backend=backend.name, nnz=x.nnz, rank=r, tier=exec_tier,
     ):
         cols = [
             x.index_column(m) if mats[m] is not None else None
             for m in range(x.nmodes)
         ]
         rows = x.index_column(mode)
+
+        if exec_tier == "compiled":
+            return run_mttkrp(
+                x, rows, cols, x.values, mats, out,
+                fmt="coo", method=method, backend=backend,
+                privatize=privatize, tag=mode,
+            )
 
         if method == "sort":
             contrib = _row_contributions(cols, x.values, mats, dtype)
@@ -330,6 +348,7 @@ def hicoo_mttkrp(
     schedule: "Schedule | str" = Schedule.DYNAMIC,
     blocks_per_chunk: int = 32,
     privatize: str = "arena",
+    tier: "str | None" = None,
 ) -> np.ndarray:
     """HiCOO-Mttkrp (paper Algorithm 2) parallelized by tensor *blocks*.
 
@@ -352,6 +371,10 @@ def hicoo_mttkrp(
     out = np.zeros((x.shape[mode], r), dtype=dtype)
     if x.nnz == 0:
         return out
+    exec_tier = resolve_tier(
+        tier, backend=backend, kernel="mttkrp", fmt="hicoo", method=method,
+        nnz=x.nnz, r=r,
+    )
     tracer = current_tracer()
     if tracer.enabled:
         tracer.count("kernel.nnz_processed", float(x.nnz))
@@ -361,6 +384,7 @@ def hicoo_mttkrp(
     with tracer.span(
         "mttkrp", cat=CAT_KERNEL, fmt="hicoo", mode=mode, method=method,
         backend=backend.name, nnz=x.nnz, rank=r, nblocks=x.nblocks,
+        tier=exec_tier,
     ):
         # Cached global coordinates: block offset + element offset, per mode.
         cols = [
@@ -368,6 +392,13 @@ def hicoo_mttkrp(
             for m in range(x.nmodes)
         ]
         rows = x.global_row(mode)
+
+        if exec_tier == "compiled":
+            return run_mttkrp(
+                x, rows, cols, x.values, mats, out,
+                fmt="hicoo", method=method, backend=backend,
+                privatize=privatize, align=x.block_size, tag=mode,
+            )
 
         if method == "sort":
             contrib = _row_contributions(cols, x.values, mats, dtype)

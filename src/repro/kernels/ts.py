@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.types import OpKind
+from repro.compiled import resolve_tier, run_elementwise
 from repro.kernels.contract import Access, declares_output
 from repro.parallel.backend import Backend, get_backend
 from repro.sptensor.coo import COOTensor
@@ -30,16 +31,32 @@ _SCALAR_UFUNC = {
 
 
 def scalar_values(
-    xv: np.ndarray, s: float, op: OpKind, out: np.ndarray, backend: Backend
+    xv: np.ndarray,
+    s: float,
+    op: OpKind,
+    out: np.ndarray,
+    backend: Backend,
+    fmt: str = "coo",
+    tier: "str | None" = None,
 ) -> None:
     """The timed value loop: ``out = xv op s`` in backend-sized chunks."""
     ufunc = _SCALAR_UFUNC[op]
+    exec_tier = resolve_tier(
+        tier, backend=backend, kernel="ts", fmt=fmt, method="elementwise",
+        nnz=len(out), r=1,
+    )
 
     def body(lo: int, hi: int) -> None:
         ufunc(xv[lo:hi], s, out=out[lo:hi])
 
     # Chunks write disjoint slices of the value array by construction.
     with backend.check_output(out, Access.DISJOINT):
+        if exec_tier == "compiled":
+            run_elementwise(
+                op, ufunc, xv, s, out, kernel="ts", fmt=fmt,
+                backend=backend, scalar=True,
+            )
+            return
         backend.parallel_for(len(out), body)
 
 
@@ -49,6 +66,7 @@ def coo_ts(
     s: float,
     op: "OpKind | str" = OpKind.MUL,
     backend: "Backend | str | None" = None,
+    tier: "str | None" = None,
 ) -> COOTensor:
     """COO-Ts: scalar op over the stored values."""
     op = OpKind.coerce(op)
@@ -56,7 +74,10 @@ def coo_ts(
         raise ZeroDivisionError("tensor-scalar division by zero")
     backend = get_backend(backend)
     out_vals = np.empty_like(x.values)
-    scalar_values(x.values, x.values.dtype.type(s), op, out_vals, backend)
+    scalar_values(
+        x.values, x.values.dtype.type(s), op, out_vals, backend,
+        fmt="coo", tier=tier,
+    )
     out = COOTensor(x.shape, x.indices, out_vals, copy=True, check=False)
     out._sort_order = x.sort_order
     return out
@@ -68,6 +89,7 @@ def hicoo_ts(
     s: float,
     op: "OpKind | str" = OpKind.MUL,
     backend: "Backend | str | None" = None,
+    tier: "str | None" = None,
 ) -> HiCOOTensor:
     """HiCOO-Ts: identical value loop; output pre-allocated in HiCOO."""
     op = OpKind.coerce(op)
@@ -75,7 +97,10 @@ def hicoo_ts(
         raise ZeroDivisionError("tensor-scalar division by zero")
     backend = get_backend(backend)
     out_vals = np.empty_like(x.values)
-    scalar_values(x.values, x.values.dtype.type(s), op, out_vals, backend)
+    scalar_values(
+        x.values, x.values.dtype.type(s), op, out_vals, backend,
+        fmt="hicoo", tier=tier,
+    )
     return HiCOOTensor(
         x.shape,
         x.block_size,

@@ -47,6 +47,7 @@ def coo_ttm(
     backend: "Backend | str | None" = None,
     schedule: "Schedule | str" = Schedule.STATIC,
     partition: str = "uniform",
+    tier: "str | None" = None,
 ) -> SemiCOOTensor:
     """COO-Ttm: output in sCOO format with dense mode ``mode`` of size R."""
     mode = check_mode(mode, x.nmodes)
@@ -72,7 +73,7 @@ def coo_ttm(
     contrib = vals[:, None] * u[idx_n, :]
     fiber_reduce(
         contrib, fi.fptr, out_vals, backend, schedule, partition,
-        kernel="ttm", fmt="coo",
+        kernel="ttm", fmt="coo", tier=tier,
     )
 
     return SemiCOOTensor(out_shape, (mode,), out_inds, out_vals, check=False)
@@ -86,6 +87,7 @@ def ghicoo_ttm(
     backend: "Backend | str | None" = None,
     schedule: "Schedule | str" = Schedule.STATIC,
     partition: str = "uniform",
+    tier: "str | None" = None,
 ) -> SemiHiCOOTensor:
     """Ttm on a gHiCOO tensor with the product mode uncompressed.
 
@@ -136,7 +138,7 @@ def ghicoo_ttm(
     contrib = x.values.astype(dtype, copy=False)[:, None] * u[idx_n, :]
     fiber_reduce(
         contrib, fptr, out_vals, backend, schedule, partition,
-        kernel="ttm", fmt="ghicoo",
+        kernel="ttm", fmt="ghicoo", tier=tier,
     )
 
     fiber_bid = bid[starts]
@@ -161,9 +163,10 @@ def hicoo_ttm(
     backend: "Backend | str | None" = None,
     schedule: "Schedule | str" = Schedule.STATIC,
     partition: str = "uniform",
+    tier: "str | None" = None,
 ) -> SemiHiCOOTensor:
     """HiCOO-Ttm: gHiCOO re-representation (pre-processing) + shared loop."""
     mode = check_mode(mode, x.nmodes)
     comp = tuple(m for m in range(x.nmodes) if m != mode)
     g = GHiCOOTensor.from_coo(x.to_coo(), x.block_size, comp)
-    return ghicoo_ttm(g, u, mode, backend, schedule, partition)
+    return ghicoo_ttm(g, u, mode, backend, schedule, partition, tier=tier)

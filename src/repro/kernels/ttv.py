@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.errors import ShapeError
 from repro.types import Schedule
+from repro.compiled import resolve_tier, run_fiber_reduce
 from repro.obs.tracer import CAT_KERNEL, current_tracer
 from repro.kernels.contract import Access, declares_output
 from repro.parallel.backend import Backend, get_backend
@@ -45,6 +46,7 @@ def fiber_reduce(
     partition: str = "uniform",
     kernel: str = "fiber_reduce",
     fmt: str = "coo",
+    tier: "str | None" = None,
 ) -> None:
     """Reduce contiguous fiber segments of ``contrib`` into ``out``.
 
@@ -64,6 +66,10 @@ def fiber_reduce(
     nf = len(fptr) - 1
     nnz = len(contrib)
     ncols = int(np.prod(contrib.shape[1:], dtype=np.int64)) if contrib.ndim > 1 else 1
+    exec_tier = resolve_tier(
+        tier, backend=backend, kernel=kernel, fmt=fmt, method="fiber",
+        nnz=nnz, r=ncols,
+    )
     tracer = current_tracer()
 
     def body(flo: int, fhi: int) -> None:
@@ -87,9 +93,15 @@ def fiber_reduce(
     # race-check backend verifies on every replayed decomposition.
     with tracer.span(
         kernel, cat=CAT_KERNEL, fmt=fmt, partition=partition,
-        backend=backend.name, nfibers=nf, nnz=nnz,
+        backend=backend.name, nfibers=nf, nnz=nnz, tier=exec_tier,
     ):
         with backend.check_output(out, Access.DISJOINT):
+            if exec_tier == "compiled":
+                run_fiber_reduce(
+                    contrib, fptr, out, kernel=kernel, fmt=fmt,
+                    backend=backend,
+                )
+                return
             if partition == "balanced":
                 ranges = balanced_partition(np.diff(fptr), backend.nthreads)
                 backend.map_ranges(ranges, body)
@@ -110,6 +122,7 @@ def coo_ttv(
     backend: "Backend | str | None" = None,
     schedule: "Schedule | str" = Schedule.STATIC,
     partition: str = "uniform",
+    tier: "str | None" = None,
 ) -> COOTensor:
     """COO-Ttv (paper Algorithm 1): output in COO format, order N-1."""
     mode = check_mode(mode, x.nmodes)
@@ -134,7 +147,7 @@ def coo_ttv(
     contrib = vals.astype(dtype, copy=False) * v[idx_n]
     fiber_reduce(
         contrib, fi.fptr, out_vals, backend, schedule, partition,
-        kernel="ttv", fmt="coo",
+        kernel="ttv", fmt="coo", tier=tier,
     )
 
     out = COOTensor(out_shape, out_inds, out_vals, copy=False, check=False)
@@ -150,6 +163,7 @@ def ghicoo_ttv(
     schedule: "Schedule | str" = Schedule.STATIC,
     partition: str = "uniform",
     block_size: int | None = None,
+    tier: "str | None" = None,
 ) -> HiCOOTensor:
     """Ttv on a gHiCOO tensor whose product mode is left *uncompressed*.
 
@@ -200,7 +214,7 @@ def ghicoo_ttv(
     contrib = x.values.astype(dtype, copy=False) * v[idx_n]
     fiber_reduce(
         contrib, fptr, out_vals, backend, schedule, partition,
-        kernel="ttv", fmt="ghicoo",
+        kernel="ttv", fmt="ghicoo", tier=tier,
     )
 
     # Assemble the HiCOO output reusing the input's block structure.
@@ -223,13 +237,14 @@ def hicoo_ttv(
     backend: "Backend | str | None" = None,
     schedule: "Schedule | str" = Schedule.STATIC,
     partition: str = "uniform",
+    tier: "str | None" = None,
 ) -> HiCOOTensor:
     """HiCOO-Ttv: re-represent as gHiCOO with the product mode uncompressed
     (pre-processing, as in the paper), then run the shared value loop."""
     mode = check_mode(mode, x.nmodes)
     comp = tuple(m for m in range(x.nmodes) if m != mode)
     g = GHiCOOTensor.from_coo(x.to_coo(), x.block_size, comp)
-    return ghicoo_ttv(g, v, mode, backend, schedule, partition)
+    return ghicoo_ttv(g, v, mode, backend, schedule, partition, tier=tier)
 
 
 def _drop_empty_blocks(t: HiCOOTensor) -> HiCOOTensor:

@@ -38,6 +38,12 @@ class Backend(abc.ABC):
     #: Logical worker count (1 for sequential).
     nthreads: int = 1
 
+    #: Whether the compiled execution tier may run under this backend.
+    #: Correctness backends (race-check, chaos) flip this off: their
+    #: checks replay the *chunked* decomposition, which the compiled
+    #: tier's fused/JIT loops do not go through.
+    supports_compiled: bool = True
+
     #: Pool class used by :meth:`workspace`; an extension point so the
     #: correctness harness can substitute instrumented pools.
     workspace_cls = WorkspacePool

@@ -70,6 +70,10 @@ class ChaosBackend(Backend):
         error-path tests; combined with ``failure_rate``.
     """
 
+    #: Chaos perturbs chunk decompositions; the compiled tier has none,
+    #: so tier resolution keeps the NumPy tier under this backend.
+    supports_compiled = False
+
     def __init__(
         self,
         inner: "OpenMPBackend | None" = None,

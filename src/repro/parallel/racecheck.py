@@ -176,6 +176,11 @@ class RaceCheckBackend(Backend):
     a :class:`RegionReport` is appended to :attr:`history`.
     """
 
+    #: The compiled tier bypasses chunked decompositions, so it would
+    #: erase exactly the footprints this backend exists to check; tier
+    #: resolution transparently falls back to the NumPy tier here.
+    supports_compiled = False
+
     def __init__(
         self,
         nthreads: int = 4,

@@ -79,7 +79,10 @@ class COOTensor:
         construct coordinates known to be in bounds pass ``False``.
     """
 
-    __slots__ = ("shape", "indices", "values", "_sort_order", "_index_cols")
+    __slots__ = (
+        "shape", "indices", "values", "_sort_order", "_index_cols",
+        "_plan_cache",
+    )
 
     def __init__(
         self,
@@ -116,6 +119,9 @@ class COOTensor:
         self.values = np.array(values) if copy else np.asarray(values)
         self._sort_order: tuple[int, ...] | None = None
         self._index_cols: dict[int, np.ndarray] = {}
+        # Compiled-tier execution plans (repro.compiled.plans); entry-order
+        # dependent, so invalidated together with the index-column cache.
+        self._plan_cache: dict = {}
 
     # ------------------------------------------------------------------ #
     # Basic properties
@@ -293,6 +299,7 @@ class COOTensor:
         self.values = self.values[perm]
         self._sort_order = order
         self._index_cols = {}
+        self._plan_cache = {}
         return self
 
     @property

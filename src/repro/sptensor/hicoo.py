@@ -66,7 +66,7 @@ class HiCOOTensor:
 
     __slots__ = (
         "shape", "block_size", "bptr", "binds", "einds", "values",
-        "_entry_bids", "_global_rows",
+        "_entry_bids", "_global_rows", "_plan_cache",
     )
 
     def __init__(
@@ -93,6 +93,9 @@ class HiCOOTensor:
         self.values = np.asarray(values)
         self._entry_bids: np.ndarray | None = None
         self._global_rows: dict[int, np.ndarray] = {}
+        # Compiled-tier execution plans; HiCOO is immutable after build,
+        # so the cache lives for the tensor's lifetime.
+        self._plan_cache: dict = {}
         if check:
             self._validate()
 
