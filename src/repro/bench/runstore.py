@@ -74,8 +74,18 @@ class RunState:
 
     def absorb(self, payload: dict) -> None:
         """Fold one journal line into the state (later lines win)."""
-        fp = payload["fingerprint"]
-        kind = payload["kind"]
+        if not isinstance(payload, dict):
+            raise StoreError(
+                f"run-store line must be a JSON object, got "
+                f"{type(payload).__name__}"
+            )
+        try:
+            fp = payload["fingerprint"]
+            kind = payload["kind"]
+        except KeyError as exc:
+            raise StoreError(
+                f"run-store line missing required key {exc.args[0]!r}"
+            ) from None
         if kind == RECORD_KIND:
             self.records[fp] = payload
             self.quarantined.pop(fp, None)
@@ -177,33 +187,43 @@ class RunStore:
                 raise StoreError(
                     f"{self.path}:{i + 1}: corrupt run-store line"
                 ) from None
+            if not isinstance(payload, dict):
+                raise StoreError(
+                    f"{self.path}:{i + 1}: run-store line is not a JSON "
+                    f"object (got {type(payload).__name__})"
+                )
             if payload.get("v") != STORE_VERSION:
                 raise StoreError(
                     f"{self.path}:{i + 1}: store version "
                     f"{payload.get('v')!r} != {STORE_VERSION}"
                 )
-            state.absorb(payload)
+            try:
+                state.absorb(payload)
+            except StoreError as exc:
+                # Structural corruption (a line that *parses* but lacks the
+                # schema) is not truncation, so it raises even on the final
+                # line — with file:line context pointing at the bad line.
+                raise StoreError(f"{self.path}:{i + 1}: {exc}") from None
         return state
 
 
 def merge_stores(paths, out_path=None) -> RunState:
     """Merge shard stores into one state (optionally journaled to disk).
 
-    Record lines win over quarantine lines for the same fingerprint, and
-    among records the first store listed wins (shards are disjoint, so
-    duplicates only arise from overlapping resumed runs — which carry
-    identical records anyway, records being deterministic per
-    fingerprint).
+    Precedence matches the single-store resume semantics exactly: record
+    lines win over quarantine lines for the same fingerprint, and among
+    lines of the same kind the **later store listed wins** — just as
+    later lines win within one journal (:meth:`RunState.absorb`).
+    Shards are disjoint, so same-kind duplicates only arise from
+    overlapping resumed runs, where the later store is the fresher one.
     """
     merged = RunState()
     for path in paths:
         state = RunStore(path).load()
-        for fp, line in state.records.items():
-            merged.records.setdefault(fp, line)
-            merged.quarantined.pop(fp, None)
-        for fp, line in state.quarantined.items():
-            if fp not in merged.records:
-                merged.quarantined.setdefault(fp, line)
+        for line in state.records.values():
+            merged.absorb(line)
+        for line in state.quarantined.values():
+            merged.absorb(line)
         merged.truncated_lines += state.truncated_lines
     if out_path is not None:
         out = RunStore(out_path)

@@ -24,6 +24,11 @@ Subcommands
                 nonzero on a confident regression.
 ``metrics``   — dump the metrics registry (Prometheus text or JSON),
                 optionally reconstructed from a run store.
+``ingest-bench`` — live FireHose ingestion benchmark: a seeded generator
+                races concurrent window ingestion and periodic kernel
+                queries; reports throughput, p50/p95/p99 latency, and
+                roofline attribution, with optional chaos injection,
+                run-store journaling, and bit-exact ``--verify``.
 """
 
 from __future__ import annotations
@@ -499,6 +504,92 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_ingest_bench(args) -> int:
+    import json as _json
+
+    from repro.ingest import (
+        IngestConfig,
+        IngestError,
+        run_ingest_bench,
+        verify_window_state,
+    )
+    from repro.obs import Tracer, get_metrics, save_chrome
+
+    config = IngestConfig(
+        shape=tuple(args.shape),
+        events=args.events,
+        batch=args.batch,
+        window=args.window,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        query_every=args.query_every,
+        rank=args.rank,
+        alpha=args.alpha,
+        seed=args.seed,
+        eviction=args.eviction,
+        block_size=args.block_size,
+        worker_lifetime=args.worker_lifetime,
+        platform=args.platform,
+        fail_at_batch=args.fail_at_batch,
+    )
+    query_backend = None
+    if args.chaos:
+        from repro.parallel import ChaosBackend
+
+        query_backend = ChaosBackend(
+            seed=args.chaos_seed, churn=True, failure_rate=args.chaos_fail
+        )
+    tracer = Tracer(meta={"bench": "ingest", "fingerprint": config.fingerprint})
+    rc = 0
+    try:
+        with tracer:
+            result = run_ingest_bench(
+                config,
+                store=args.store,
+                resume=args.resume,
+                query_backend=query_backend,
+            )
+    except IngestError as exc:
+        print(f"ingest-bench failed: {exc}", file=sys.stderr)
+        if args.store:
+            print(
+                f"failure quarantined in {args.store}; re-run with --resume "
+                "to retry and clear it",
+                file=sys.stderr,
+            )
+        return 1
+    finally:
+        if args.trace:
+            os.makedirs(os.path.dirname(args.trace) or ".", exist_ok=True)
+            save_chrome(tracer.freeze(), args.trace)
+            print(f"saved Chrome trace -> {args.trace}", file=sys.stderr)
+        if args.metrics:
+            os.makedirs(os.path.dirname(args.metrics) or ".", exist_ok=True)
+            with open(args.metrics, "w") as f:
+                f.write(get_metrics().render_prometheus())
+            print(f"saved metrics -> {args.metrics}", file=sys.stderr)
+    # In --json mode stdout carries only the JSON document; everything
+    # else (verify verdicts, journaling notes) goes to stderr.
+    chatter = sys.stderr if args.json else sys.stdout
+    if args.verify:
+        ok, detail = verify_window_state(result)
+        if not ok:
+            print(f"VERIFY FAILED: window state diverged: {detail}", file=chatter)
+            rc = 1
+        else:
+            print(
+                f"verify: window state matches serial replay — {detail}",
+                file=chatter,
+            )
+    if args.json:
+        print(_json.dumps(result.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.render())
+    if args.store:
+        print(f"journaled {len(result.records)} records -> {args.store}", file=chatter)
+    return rc
+
+
 def _cmd_tune(args) -> int:
     from repro.roofline import get_platform
     from repro.sptensor import load_npz, read_tns
@@ -629,6 +720,83 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a folded-stack flame summary",
     )
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_ingest = sub.add_parser(
+        "ingest-bench",
+        help="live streaming-ingestion benchmark: seeded generator vs "
+        "concurrent window ingestion vs periodic kernel queries, with "
+        "backpressure, churn, chaos, and run-store journaling",
+    )
+    p_ingest.add_argument(
+        "--shape", type=int, nargs="+", default=[512, 512, 16]
+    )
+    p_ingest.add_argument(
+        "--events", type=int, default=100_000,
+        help="total events the generator emits",
+    )
+    p_ingest.add_argument(
+        "--batch", type=int, default=4096, help="events per batch"
+    )
+    p_ingest.add_argument(
+        "--window", type=int, default=8, help="live window length in batches"
+    )
+    p_ingest.add_argument(
+        "--workers", type=int, default=4, help="concurrent ingest workers"
+    )
+    p_ingest.add_argument(
+        "--queue-depth", type=int, default=8,
+        help="bounded generator queue depth (backpressure bound)",
+    )
+    p_ingest.add_argument(
+        "--query-every", type=int, default=8,
+        help="batches between query rounds (0 disables queries)",
+    )
+    p_ingest.add_argument("--rank", type=int, default=8)
+    p_ingest.add_argument("--alpha", type=float, default=2.0)
+    p_ingest.add_argument("--seed", type=int, default=0)
+    p_ingest.add_argument(
+        "--eviction", choices=["exact", "subtract"], default="exact",
+        help="window eviction mode (exact = bit-exact structural rebuild; "
+        "subtract = historical lossy fast path)",
+    )
+    p_ingest.add_argument("--block-size", type=int, default=32)
+    p_ingest.add_argument(
+        "--worker-lifetime", type=int, default=0,
+        help="batches per worker before it retires and a replacement "
+        "spawns (worker churn; 0 = stable workers)",
+    )
+    p_ingest.add_argument("--platform", default="Bluesky")
+    p_ingest.add_argument(
+        "--chaos", action="store_true",
+        help="run queries on a ChaosBackend (adversarial scheduling plus "
+        "injected query failures)",
+    )
+    p_ingest.add_argument("--chaos-fail", type=float, default=0.0)
+    p_ingest.add_argument("--chaos-seed", type=int, default=0)
+    p_ingest.add_argument(
+        "--fail-at-batch", type=int, default=0,
+        help="inject an ingest failure at this 1-based batch (CI smoke)",
+    )
+    p_ingest.add_argument(
+        "--store", help="journal PerfRecords to this run-store JSONL"
+    )
+    p_ingest.add_argument(
+        "--resume", action="store_true",
+        help="serve a completed scenario from --store without re-running",
+    )
+    p_ingest.add_argument(
+        "--verify", action="store_true",
+        help="check the final window against a serial replay "
+        "(bit-exact under exact eviction); exit 1 on divergence",
+    )
+    p_ingest.add_argument("--trace", help="write a Chrome trace to PATH")
+    p_ingest.add_argument(
+        "--metrics", help="write the metrics registry (Prometheus text) to PATH"
+    )
+    p_ingest.add_argument(
+        "--json", action="store_true", help="print the full result as JSON"
+    )
+    p_ingest.set_defaults(func=_cmd_ingest_bench)
 
     p_sweep = sub.add_parser(
         "sweep",

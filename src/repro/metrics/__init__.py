@@ -14,6 +14,7 @@ from repro.metrics.stats import (
     gflops_range,
     group_by,
     mean_over_modes,
+    percentiles,
 )
 
 __all__ = [
@@ -33,4 +34,5 @@ __all__ = [
     "bootstrap_ci",
     "BootstrapCI",
     "geomean_ratio_ci",
+    "percentiles",
 ]

@@ -25,6 +25,27 @@ import numpy as np
 from repro.metrics.perf import PerfRecord
 
 
+#: Default latency quantiles quoted by the ingestion benchmark.
+DEFAULT_QUANTILES = (50.0, 95.0, 99.0)
+
+
+def percentiles(
+    values: Iterable[float], qs: Sequence[float] = DEFAULT_QUANTILES
+) -> "Optional[dict]":
+    """Named sample percentiles (``{"p50": ..., "p95": ..., "p99": ...}``).
+
+    Returns ``None`` on empty input — no sample is absence of data, and a
+    fake 0.0 latency would misreport it (same convention as
+    :func:`geomean`).  Quantiles are linearly interpolated
+    (``np.percentile`` defaults), keys formatted ``p{q:g}`` so fractional
+    quantiles like 99.9 render as ``p99.9``.
+    """
+    arr = np.asarray([float(v) for v in values], dtype=np.float64)
+    if arr.size == 0:
+        return None
+    return {f"p{q:g}": float(np.percentile(arr, q)) for q in qs}
+
+
 def mean_over_modes(times: Sequence[float]) -> float:
     """Average kernel time across modes (paper Sec. 5.1.2)."""
     if not times:

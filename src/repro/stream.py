@@ -8,6 +8,12 @@ accumulation side: a builder that consumes ``(coords, values)`` batches
 staging memory, and a sliding-window variant that expires old events —
 the streaming analytics pattern (anomaly detection over time windows) the
 paper's application list motivates.
+
+Both containers validate a batch *at push time*: out-of-bounds
+coordinates raise on the offending ``push`` call (not on some later
+merge, far from the bug), and integer/bool values are coerced to the
+suite's value dtype immediately so staged batches concatenate without
+surprise promotions.
 """
 
 from __future__ import annotations
@@ -19,7 +25,39 @@ import numpy as np
 
 from repro.errors import ShapeError
 from repro.sptensor.coo import COOTensor
-from repro.util.validation import check_shape
+from repro.types import VALUE_DTYPE
+from repro.util.validation import check_indices_in_bounds, check_shape
+
+#: Sliding-window eviction strategies (see :class:`SlidingWindowTensor`).
+EVICTION_MODES = ("exact", "subtract")
+
+
+def validate_batch(
+    shape: Sequence[int], coords: np.ndarray, values: np.ndarray
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Validate and normalize one streamed ``(coords, values)`` batch.
+
+    Checks alignment and coordinate bounds *here*, at the push site, and
+    returns defensive copies: ``coords`` as int64 and ``values`` coerced
+    to a floating dtype (:data:`~repro.types.VALUE_DTYPE` for
+    integer/bool input), so the caller's arrays can be reused or mutated
+    without corrupting staged state.
+    """
+    coords = np.asarray(coords)
+    values = np.asarray(values)
+    if coords.ndim != 2 or coords.shape[1] != len(shape):
+        raise ShapeError(
+            f"coords must be (n, {len(shape)}), got {coords.shape}"
+        )
+    if values.ndim != 1 or len(values) != len(coords):
+        raise ShapeError("coords and values must align")
+    check_indices_in_bounds(coords, shape)
+    coords = coords.astype(np.int64, copy=True)
+    if np.issubdtype(values.dtype, np.floating):
+        values = values.copy()
+    else:
+        values = values.astype(VALUE_DTYPE)
+    return coords, values
 
 
 class StreamingTensorBuilder:
@@ -46,16 +84,9 @@ class StreamingTensorBuilder:
         self.merges = 0
 
     def push(self, coords: np.ndarray, values: np.ndarray) -> None:
-        """Ingest one batch of events."""
-        coords = np.asarray(coords)
-        values = np.asarray(values)
-        if coords.ndim != 2 or coords.shape[1] != len(self.shape):
-            raise ShapeError(
-                f"coords must be (n, {len(self.shape)}), got {coords.shape}"
-            )
-        if len(values) != len(coords):
-            raise ShapeError("coords and values must align")
-        self._staged_coords.append(coords.astype(np.int64))
+        """Ingest one batch of events (validated and coerced here)."""
+        coords, values = validate_batch(self.shape, coords, values)
+        self._staged_coords.append(coords)
         self._staged_values.append(values)
         self._staged_count += len(values)
         self.events_seen += len(values)
@@ -72,7 +103,7 @@ class StreamingTensorBuilder:
             return
         coords = np.concatenate(self._staged_coords, axis=0)
         values = np.concatenate(self._staged_values)
-        fresh = COOTensor(self.shape, coords, values, copy=False)
+        fresh = COOTensor(self.shape, coords, values, copy=False, check=False)
         if self._merged is None:
             self._merged = fresh.coalesce()
         else:
@@ -86,10 +117,19 @@ class StreamingTensorBuilder:
 
     @property
     def current_nnz(self) -> int:
-        """Distinct coordinates accumulated so far (staged batches count
-        approximately until the next merge)."""
+        """Upper bound on the distinct coordinates accumulated so far.
+
+        Staged batches count every event individually until the next
+        merge, so duplicates among (or against) staged entries are
+        overcounted; use :meth:`exact_nnz` for the coalesced count.
+        """
         merged = self._merged.nnz if self._merged is not None else 0
         return merged + self._staged_count
+
+    def exact_nnz(self) -> int:
+        """Exact distinct-coordinate count (forces a staging merge)."""
+        self._merge()
+        return self._merged.nnz if self._merged is not None else 0
 
     def finish(self) -> COOTensor:
         """Flush staging and return the accumulated tensor."""
@@ -102,31 +142,93 @@ class StreamingTensorBuilder:
 class SlidingWindowTensor:
     """A tensor over the last ``window`` event batches.
 
-    Each ``push`` admits one batch and evicts the oldest batch beyond the
-    window by subtracting it (sparse Tew), keeping the materialized tensor
-    equal to the coalesced sum of the live window — the state a streaming
-    anomaly detector queries.
+    Each ``push`` admits one batch, evicts the oldest batch beyond the
+    window, and keeps the materialized ``state`` equal to the coalesced
+    sum of the live batches — the state a streaming anomaly detector
+    queries.
+
+    Eviction modes
+    --------------
+    ``"exact"`` (default)
+        Structural eviction: the retained batches are re-coalesced, so
+        ``state`` is **bit-identical** to
+        ``COOTensor(shape, concat(coords), concat(values)).coalesce()``
+        over the live batches — genuine values of any magnitude (even
+        below 1e-12) and exact cancellations (explicit zeros) survive,
+        and no floating-point residue ever drifts the state.  Costs
+        O(window x batch) per push.
+    ``"subtract"``
+        The historical fast path: the expired batch is subtracted
+        (sparse Tew) and near-zeros are dropped with ``subtract_atol``.
+        O(state) per push, but **lossy**: any live value with magnitude
+        <= ``subtract_atol`` is silently destroyed and subtraction
+        residue accumulates.  Opt in only when the window sum is known
+        to stay far from the tolerance.
     """
 
-    def __init__(self, shape: Sequence[int], window: int):
+    def __init__(
+        self,
+        shape: Sequence[int],
+        window: int,
+        eviction: str = "exact",
+        subtract_atol: float = 1e-12,
+    ):
         if window < 1:
             raise ShapeError("window must be >= 1")
+        if eviction not in EVICTION_MODES:
+            raise ValueError(
+                f"unknown eviction mode {eviction!r}; expected one of "
+                f"{EVICTION_MODES}"
+            )
         self.shape = check_shape(shape)
         self.window = int(window)
-        self._batches: deque[COOTensor] = deque()
+        self.eviction = eviction
+        self.subtract_atol = float(subtract_atol)
+        #: Raw validated batches (exact mode's rebuild source).
+        self._raw: deque[tuple[np.ndarray, np.ndarray]] = deque()
+        #: Per-batch coalesced tensors (subtract mode's eviction source).
+        self._coalesced: deque[COOTensor] = deque()
         self._state: COOTensor = COOTensor.empty(self.shape)
+        #: Monotonic push counter (snapshot/memoization key for readers).
+        self.version = 0
+        #: Batches expired out of the window so far.
+        self.evictions = 0
 
     def push(self, coords: np.ndarray, values: np.ndarray) -> COOTensor:
         """Admit a batch, evict the expired one, return the live tensor."""
-        from repro.kernels.tew import coo_tew
+        coords, values = validate_batch(self.shape, coords, values)
+        if self.eviction == "exact":
+            self._raw.append((coords, values))
+            if len(self._raw) > self.window:
+                self._raw.popleft()
+                self.evictions += 1
+            self._state = self._rebuild()
+        else:
+            from repro.kernels.tew import coo_tew
 
-        batch = COOTensor(self.shape, np.asarray(coords), np.asarray(values)).coalesce()
-        self._batches.append(batch)
-        self._state = coo_tew(self._state, batch, "add")
-        if len(self._batches) > self.window:
-            expired = self._batches.popleft()
-            self._state = coo_tew(self._state, expired, "sub").drop_zeros(1e-12)
+            batch = COOTensor(
+                self.shape, coords, values, copy=False, check=False
+            ).coalesce()
+            self._coalesced.append(batch)
+            self._state = coo_tew(self._state, batch, "add")
+            if len(self._coalesced) > self.window:
+                expired = self._coalesced.popleft()
+                self.evictions += 1
+                self._state = coo_tew(self._state, expired, "sub").drop_zeros(
+                    self.subtract_atol
+                )
+        self.version += 1
         return self._state
+
+    def _rebuild(self) -> COOTensor:
+        """Coalesce the live batches from scratch (the exact invariant)."""
+        if not self._raw:
+            return COOTensor.empty(self.shape)
+        coords = np.concatenate([c for c, _ in self._raw], axis=0)
+        values = np.concatenate([v for _, v in self._raw])
+        return COOTensor(
+            self.shape, coords, values, copy=False, check=False
+        ).coalesce()
 
     @property
     def state(self) -> COOTensor:
@@ -134,4 +236,4 @@ class SlidingWindowTensor:
 
     @property
     def nbatches(self) -> int:
-        return len(self._batches)
+        return len(self._raw) if self.eviction == "exact" else len(self._coalesced)

@@ -272,6 +272,32 @@ class TestResume:
         with pytest.raises(StoreError):
             store.load()
 
+    def test_line_missing_required_key_raises_with_context(self, tmp_path):
+        # A line that parses but lacks the schema is corruption, not
+        # truncation — it must raise StoreError naming the file and line,
+        # never a bare KeyError (even as the final line).
+        store = RunStore(tmp_path / "run.jsonl")
+        inline(store, tiny_cases()).run()
+        with open(store.path, "a") as f:
+            f.write('{"v": 1, "kind": "record"}\n')  # no fingerprint
+        with pytest.raises(StoreError, match=r"run\.jsonl:\d+.*fingerprint"):
+            store.load()
+        with open(store.path, "w") as f:
+            f.write('{"v": 1, "fingerprint": "abc"}\n')  # no kind
+        with pytest.raises(StoreError, match=r"run\.jsonl:1.*kind"):
+            store.load()
+        with open(store.path, "w") as f:
+            f.write('{"v": 1, "fingerprint": "abc", "kind": "wat"}\n')
+        with pytest.raises(StoreError, match="unknown run-store line kind"):
+            store.load()
+
+    def test_non_object_json_line_raises(self, tmp_path):
+        store = RunStore(tmp_path / "run.jsonl")
+        with open(store.path, "w") as f:
+            f.write('[1, 2, 3]\n')
+        with pytest.raises(StoreError, match="not a JSON object"):
+            store.load()
+
 
 class TestShardMerge:
     def test_four_shard_merge_equals_unsharded(self, tmp_path):
@@ -314,6 +340,41 @@ class TestShardMerge:
             merged = merge_stores(order)
             assert not merged.quarantined
             assert cases[0].fingerprint in merged.records
+
+    def test_merge_later_store_wins_same_kind(self, tmp_path):
+        # Cross-store precedence pins the documented resume semantics:
+        # among lines of the same kind for one fingerprint, the LATER
+        # store listed wins — a resumed (fresher) shard overrides its
+        # stale predecessor, exactly as later lines win within one
+        # journal.  (The old setdefault-based merge kept the first.)
+        def write(path, marker):
+            s = RunStore(path)
+            s._append({
+                "v": 1, "kind": "record", "fingerprint": "fp",
+                "seed": 0, "case": {}, "attempt": marker,
+                "elapsed_s": 0.0, "record": {"marker": marker},
+            })
+            return path
+
+        old = write(tmp_path / "old.jsonl", 1)
+        new = write(tmp_path / "new.jsonl", 2)
+        assert merge_stores([old, new]).records["fp"]["attempt"] == 2
+        assert merge_stores([new, old]).records["fp"]["attempt"] == 1
+
+        # same rule for quarantine lines (fresher failure log wins)
+        def write_q(path, marker):
+            s = RunStore(path)
+            s._append({
+                "v": 1, "kind": "quarantine", "fingerprint": "qfp",
+                "seed": 0, "case": {},
+                "failures": [{"kind": "error", "detail": str(marker)}],
+            })
+            return path
+
+        qa = write_q(tmp_path / "qa.jsonl", "first")
+        qb = write_q(tmp_path / "qb.jsonl", "second")
+        merged = merge_stores([qa, qb])
+        assert merged.quarantined["qfp"]["failures"][0]["detail"] == "second"
 
 
 @pytest.mark.slow

@@ -96,3 +96,169 @@ class TestSlidingWindow:
     def test_window_validation(self):
         with pytest.raises(ShapeError):
             SlidingWindowTensor((5, 5), window=0)
+        with pytest.raises(ValueError):
+            SlidingWindowTensor((5, 5), window=2, eviction="nope")
+
+    def test_push_validates_bounds_immediately(self):
+        w = SlidingWindowTensor((5, 5), window=2)
+        with pytest.raises(ShapeError):
+            w.push(np.array([[5, 0]]), np.array([1.0]))
+        b = StreamingTensorBuilder((5, 5))
+        with pytest.raises(ShapeError):
+            b.push(np.array([[0, -6]]), np.array([1.0]))
+
+    def test_push_coerces_integer_values(self):
+        b = StreamingTensorBuilder((5, 5), merge_threshold=10**6)
+        b.push(np.array([[1, 2]]), np.array([3]))
+        assert np.issubdtype(b._staged_values[0].dtype, np.floating)
+        w = SlidingWindowTensor((5, 5), window=2)
+        state = w.push(np.array([[1, 2]]), np.array([3]))
+        assert np.issubdtype(state.values.dtype, np.floating)
+
+    def test_push_copies_input_arrays(self):
+        coords = np.array([[1, 1]])
+        values = np.array([2.0])
+        w = SlidingWindowTensor((5, 5), window=3)
+        w.push(coords, values)
+        coords[0, 0] = 4
+        values[0] = 99.0
+        assert w.state.to_dense()[1, 1] == 2.0
+
+    def test_exact_nnz_vs_current_nnz(self):
+        b = StreamingTensorBuilder((10, 10), merge_threshold=10**6)
+        b.push(np.array([[1, 1], [1, 1]]), np.array([1.0, 2.0]))
+        # staged duplicates are overcounted by the cheap upper bound
+        assert b.current_nnz == 2
+        assert b.exact_nnz() == 1
+        assert b.current_nnz == 1  # post-merge the bound is tight
+
+
+def _window_reference(shape, batches):
+    """The invariant: coalesce the concatenation of the live batches."""
+    if not batches:
+        return COOTensor.empty(shape)
+    coords = np.concatenate([np.asarray(c) for c, _ in batches], axis=0)
+    values = np.concatenate(
+        [np.asarray(v, dtype=np.float64) for _, v in batches]
+    )
+    return COOTensor(shape, coords, values).coalesce()
+
+
+def _assert_bit_exact(state, want):
+    assert state.shape == want.shape
+    np.testing.assert_array_equal(state.indices, want.indices)
+    assert state.values.dtype == want.values.dtype
+    np.testing.assert_array_equal(
+        state.values.view(np.uint8), want.values.view(np.uint8)
+    )
+
+
+class TestExactEviction:
+    """The sliding window's exact mode is bit-identical to re-coalescing.
+
+    These are the regression tests for the eviction-corruption bug: the
+    old subtract-and-drop path destroyed genuine values <= its tolerance
+    and drifted state through float residue.  ``test_subtract_mode_*``
+    pin that the opt-in lossy mode still loses — i.e. they FAIL when run
+    against the old default.
+    """
+
+    @pytest.mark.parametrize("window", [1, 3, 10])
+    def test_random_stream_bit_exact(self, window):
+        rng = np.random.default_rng(11)
+        shape = (12, 9, 4)
+        w = SlidingWindowTensor(shape, window=window)
+        live = []
+        for step in range(7):  # window 10 > nbatches: nothing ever evicts
+            n = int(rng.integers(1, 40))
+            coords = rng.integers(0, shape, size=(n, 3))
+            values = rng.random(n, dtype=np.float64)
+            state = w.push(coords, values)
+            live.append((coords, values))
+            live = live[-window:]
+            _assert_bit_exact(state, _window_reference(shape, live))
+        assert w.nbatches == min(7, window)
+        assert w.evictions == max(0, 7 - window)
+        assert w.version == 7
+
+    def test_tiny_values_survive(self):
+        # Genuine magnitudes below the old drop tolerance (1e-12) must
+        # survive any number of evictions.
+        shape = (4, 4)
+        w = SlidingWindowTensor(shape, window=2)
+        for i in range(5):
+            state = w.push(np.array([[i % 4, 0]]), np.array([1e-15]))
+        assert state.nnz == 2
+        assert np.all(state.values == 1e-15)
+
+    def test_exact_cancellation_keeps_explicit_zero(self):
+        # +1 and -1 at the same coordinate in the live window sum to an
+        # explicit 0.0 entry — coalesce() keeps it, so exact mode must.
+        shape = (3, 3)
+        w = SlidingWindowTensor(shape, window=2)
+        w.push(np.array([[1, 1]]), np.array([1.0]))
+        state = w.push(np.array([[1, 1]]), np.array([-1.0]))
+        want = _window_reference(
+            shape,
+            [(np.array([[1, 1]]), np.array([1.0])),
+             (np.array([[1, 1]]), np.array([-1.0]))],
+        )
+        assert want.nnz == 1  # the reference itself keeps the zero
+        _assert_bit_exact(state, want)
+
+    def test_no_float_residue_after_eviction(self):
+        # 0.1 + 0.2 - 0.1 != 0.2 in binary floating point: the subtract
+        # path leaves residue at [0,0]; exact mode is residue-free.
+        shape = (2, 2)
+        w = SlidingWindowTensor(shape, window=1)
+        w.push(np.array([[0, 0]]), np.array([0.1]))
+        state = w.push(np.array([[0, 0]]), np.array([0.2]))
+        assert state.nnz == 1
+        assert state.values[0] == np.float64(0.2)
+
+    def test_subtract_mode_destroys_tiny_values(self):
+        # The documented loss of the opt-in fast path (and the bug when
+        # it was the only path): an eviction drops live tiny values.
+        w = SlidingWindowTensor((4, 4), window=1, eviction="subtract")
+        w.push(np.array([[0, 0]]), np.array([1.0]))
+        state = w.push(np.array([[1, 1]]), np.array([1e-15]))
+        assert state.nnz == 0  # the genuine 1e-15 entry is gone
+        exact = SlidingWindowTensor((4, 4), window=1)
+        exact.push(np.array([[0, 0]]), np.array([1.0]))
+        state = exact.push(np.array([[1, 1]]), np.array([1e-15]))
+        assert state.nnz == 1 and state.values[0] == 1e-15
+
+    def test_subtract_mode_still_close_for_large_values(self):
+        # The fast path remains available and approximately correct when
+        # magnitudes stay far above the tolerance.
+        rng = np.random.default_rng(5)
+        shape = (15, 15)
+        fast = SlidingWindowTensor(shape, window=3, eviction="subtract")
+        exact = SlidingWindowTensor(shape, window=3)
+        for _ in range(8):
+            n = int(rng.integers(5, 30))
+            coords = rng.integers(0, 15, size=(n, 2))
+            values = rng.random(n) + 0.5
+            f = fast.push(coords, values)
+            e = exact.push(coords, values)
+        np.testing.assert_allclose(
+            f.to_dense(), e.to_dense(), rtol=1e-9, atol=1e-9
+        )
+
+    def test_powerlaw_stream_windowed_bit_exact(self):
+        shape = (64, 64, 8)
+        w = SlidingWindowTensor(shape, window=3)
+        live = []
+        for coords, values in powerlaw_stream(
+            3000, shape, dense_modes=(2,), seed=9, batch=512
+        ):
+            state = w.push(coords, values)
+            live.append((coords, values.astype(np.float64)))
+            live = live[-3:]
+        # reference in the same dtype the window accumulates
+        coords = np.concatenate([c for c, _ in live], axis=0)
+        values = np.concatenate([np.asarray(v) for _, v in live]).astype(
+            np.float32
+        )
+        want = COOTensor(shape, coords, values).coalesce()
+        _assert_bit_exact(state, want)
