@@ -36,6 +36,7 @@ import os
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -87,6 +88,16 @@ class ExecutorConfig:
     #: Fault-injection table: case selector -> fault spec (see
     #: :func:`match_fault`).
     faults: dict = field(default_factory=dict)
+    #: Concurrent case workers inside this shard.  ``1`` keeps the
+    #: historical serial loop; ``> 1`` drives the shard's cases through
+    #: the work-stealing pool (:mod:`repro.serve.scheduler`): each worker
+    #: owns a deque and steals from a victim's tail when its own drains,
+    #: so a straggling case never idles the other workers.  Records stay
+    #: bit-identical to the serial run (case seeds derive from
+    #: fingerprints, never from execution order).
+    workers: int = 1
+    #: Seed of the per-worker victim-selection RNGs of the stealing pool.
+    steal_seed: int = 0
 
     def __post_init__(self):
         if self.shards < 1:
@@ -103,6 +114,8 @@ class ExecutorConfig:
             )
         if self.retries < 0:
             raise ExecutorError(f"retries must be >= 0 (got {self.retries})")
+        if self.workers < 1:
+            raise ExecutorError(f"workers must be >= 1 (got {self.workers})")
 
 
 def match_fault(case: SweepCase, faults: "dict | None") -> dict:
@@ -112,9 +125,10 @@ def match_fault(case: SweepCase, faults: "dict | None") -> dict:
     ``"tensor/kernel/fmt"``, then the tensor name, then ``"*"``.  A fault
     spec is a dict with any of ``fail_attempts`` (raise a ChaosError via
     a real ChaosBackend for attempts < n), ``hang_attempts``/``hang_s``
-    (sleep — process isolation converts this into a timeout kill), and
+    (sleep — process isolation converts this into a timeout kill),
     ``kill_attempts`` (hard ``os._exit`` of the worker; process isolation
-    only).
+    only), and ``delay_s`` (sleep then *succeed* — an injected straggler,
+    used to exercise work stealing without failing the case).
     """
     if not faults:
         return {}
@@ -203,6 +217,9 @@ def execute_case(
     fault = match_fault(case, faults)
     if attempt < int(fault.get("fail_attempts", 0)):
         _inject_chaos_failure(case, attempt)
+    delay_s = float(fault.get("delay_s", 0.0))
+    if delay_s > 0.0:
+        time.sleep(delay_s)  # injected straggler: slow, not failing
     from repro.roofline.platform import get_platform
 
     config = case.runner_config()
@@ -226,6 +243,9 @@ class ExecutorReport:
     retries: int = 0
     timeouts: int = 0
     crashes: int = 0
+    #: Cases migrated between worker deques by the stealing pool
+    #: (always 0 for the serial ``workers=1`` loop).
+    steals: int = 0
 
     @property
     def total(self) -> int:
@@ -237,7 +257,7 @@ class ExecutorReport:
             f"{len(self.completed)} completed, {len(self.skipped)} skipped "
             f"(resume), {len(self.quarantined)} quarantined, "
             f"{self.retries} retries, {self.timeouts} timeouts, "
-            f"{self.crashes} crashes"
+            f"{self.crashes} crashes, {self.steals} steals"
         ]
         for fp in self.quarantined:
             log = self.failures.get(fp, [])
@@ -248,107 +268,97 @@ class ExecutorReport:
         return "\n".join(lines)
 
 
-class SuiteExecutor:
-    """Runs a shard of an enumerated sweep against a run store."""
+@dataclass
+class CaseOutcome:
+    """The terminal verdict of one case's retry state machine."""
 
-    def __init__(
-        self,
-        cases: "list[SweepCase]",
-        store: RunStore,
-        config: "ExecutorConfig | None" = None,
-        sleep=time.sleep,
-    ):
-        self.cases = list(cases)
-        self.store = store
+    fingerprint: str
+    completed: bool
+    record: "PerfRecord | None" = None
+    #: The journal line appended for this case (record or quarantine).
+    line: "dict | None" = None
+    failures: list = field(default_factory=list)
+    retries: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    #: Wall-clock of the successful attempt (0.0 when quarantined).
+    elapsed_s: float = 0.0
+
+
+class CaseRunner:
+    """The per-case attempt/retry/quarantine state machine.
+
+    One instance is shared by the serial :class:`SuiteExecutor` loop, the
+    work-stealing pool (:mod:`repro.serve.scheduler`) and the serve
+    daemon, so every execution surface retries, journals, traces and
+    counts cases identically.  :meth:`run_case` is thread-safe: journal
+    appends serialize through ``store_lock`` and the tracer/metrics
+    substrates are slot/thread-sharded.
+    """
+
+    def __init__(self, config: "ExecutorConfig | None" = None, sleep=time.sleep):
         self.config = config or ExecutorConfig()
         self._sleep = sleep
-
-    # ------------------------------------------------------------------ #
-    def shard_cases(self) -> "list[SweepCase]":
-        """This shard's slice of the deterministic case list."""
-        cfg = self.config
-        return [
-            c for i, c in enumerate(self.cases) if i % cfg.shards == cfg.shard_index
-        ]
-
-    def run(self) -> ExecutorReport:
-        """Execute the shard: skip, attempt/retry, journal, quarantine.
-
-        A failing case never aborts the sweep — it retries with
-        exponential backoff and lands in quarantine (journaled with its
-        failure log) once retries are exhausted.  ``KeyboardInterrupt``
-        does propagate; the journal keeps every case completed so far,
-        which is exactly what ``resume`` picks up.
-        """
-        cfg = self.config
-        tracer = current_tracer()
-        # Tracer counters cover one traced invocation; the process-global
-        # registry accumulates across the whole sweep with per-case labels
-        # (dumped by ``repro metrics`` / scraped as Prometheus text).
-        metrics = get_metrics()
-        done = (
-            self.store.load().completed()
-            if cfg.resume and self.store.exists()
-            else set()
-        )
-        report = ExecutorReport(shards=cfg.shards, shard_index=cfg.shard_index)
-        for case in self.shard_cases():
-            fp = case.fingerprint
-            labels = {
-                "kernel": case.kernel, "fmt": case.fmt,
-                "platform": case.platform,
-            }
-            if fp in done:
-                report.skipped.append(fp)
-                tracer.count("exec.skipped")
-                metrics.inc("exec.skipped", **labels)
-                continue
-            failures = []
-            for attempt in range(cfg.retries + 1):
-                t0 = time.perf_counter()
-                with tracer.span(
-                    "case", cat=CAT_CASE, fingerprint=fp, tensor=case.tensor,
-                    kernel=case.kernel, fmt=case.fmt, platform=case.platform,
-                    attempt=attempt, isolation=cfg.isolation,
-                ):
-                    record, failure = self._attempt(case, attempt)
-                elapsed = time.perf_counter() - t0
-                if record is not None:
-                    self.store.append_record(case, record, attempt, elapsed)
-                    report.completed.append(fp)
-                    tracer.count("exec.completed")
-                    metrics.inc("exec.completed", **labels)
-                    metrics.observe("exec.case_seconds", elapsed, **labels)
-                    break
-                failures.append(failure)
-                if failure["kind"] == FAIL_TIMEOUT:
-                    report.timeouts += 1
-                    tracer.count("exec.timeouts")
-                    metrics.inc("exec.timeouts", **labels)
-                elif failure["kind"] == FAIL_CRASH:
-                    report.crashes += 1
-                    tracer.count("exec.crashes")
-                    metrics.inc("exec.crashes", **labels)
-                if attempt < cfg.retries:
-                    report.retries += 1
-                    tracer.count("exec.retries")
-                    metrics.inc("exec.retries", **labels)
-                    self._sleep(self.backoff_s(attempt))
-            else:
-                self.store.append_quarantine(case, failures)
-                report.quarantined.append(fp)
-                report.failures[fp] = failures
-                tracer.count("exec.quarantined")
-                metrics.inc("exec.quarantined", **labels)
-        return report
 
     def backoff_s(self, attempt: int) -> float:
         """Exponential backoff before re-attempt ``attempt + 1``."""
         cfg = self.config
         return min(cfg.backoff_max_s, cfg.backoff_base_s * (2.0 ** attempt))
 
+    def run_case(
+        self, case: SweepCase, store: RunStore, store_lock=None
+    ) -> CaseOutcome:
+        """Run one case to its terminal verdict, journaling the outcome."""
+        cfg = self.config
+        tracer = current_tracer()
+        metrics = get_metrics()
+        labels = {
+            "kernel": case.kernel, "fmt": case.fmt, "platform": case.platform,
+        }
+        outcome = CaseOutcome(fingerprint=case.fingerprint, completed=False)
+        for attempt in range(cfg.retries + 1):
+            t0 = time.perf_counter()
+            with tracer.span(
+                "case", cat=CAT_CASE, fingerprint=case.fingerprint,
+                tensor=case.tensor, kernel=case.kernel, fmt=case.fmt,
+                platform=case.platform, attempt=attempt,
+                isolation=cfg.isolation,
+            ):
+                record, failure = self.attempt(case, attempt)
+            elapsed = time.perf_counter() - t0
+            if record is not None:
+                with store_lock or _NULL_LOCK:
+                    line = store.append_record(case, record, attempt, elapsed)
+                outcome.completed = True
+                outcome.record = record
+                outcome.line = line
+                outcome.elapsed_s = elapsed
+                tracer.count("exec.completed")
+                metrics.inc("exec.completed", **labels)
+                metrics.observe("exec.case_seconds", elapsed, **labels)
+                return outcome
+            outcome.failures.append(failure)
+            if failure["kind"] == FAIL_TIMEOUT:
+                outcome.timeouts += 1
+                tracer.count("exec.timeouts")
+                metrics.inc("exec.timeouts", **labels)
+            elif failure["kind"] == FAIL_CRASH:
+                outcome.crashes += 1
+                tracer.count("exec.crashes")
+                metrics.inc("exec.crashes", **labels)
+            if attempt < cfg.retries:
+                outcome.retries += 1
+                tracer.count("exec.retries")
+                metrics.inc("exec.retries", **labels)
+                self._sleep(self.backoff_s(attempt))
+        with store_lock or _NULL_LOCK:
+            outcome.line = store.append_quarantine(case, outcome.failures)
+        tracer.count("exec.quarantined")
+        metrics.inc("exec.quarantined", **labels)
+        return outcome
+
     # ------------------------------------------------------------------ #
-    def _attempt(self, case: SweepCase, attempt: int):
+    def attempt(self, case: SweepCase, attempt: int):
         """One attempt -> ``(record, None)`` or ``(None, failure_dict)``."""
         if self.config.isolation == "inline":
             return self._inline_attempt(case, attempt)
@@ -421,6 +431,129 @@ class SuiteExecutor:
             "attempt": attempt,
             "detail": str(verdict.get("error", "worker reported failure")),
         }
+
+
+class _NullLock:
+    """Lock stand-in for single-threaded callers."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_LOCK = _NullLock()
+
+
+class SuiteExecutor:
+    """Runs a shard of an enumerated sweep against a run store."""
+
+    def __init__(
+        self,
+        cases: "list[SweepCase]",
+        store: RunStore,
+        config: "ExecutorConfig | None" = None,
+        sleep=time.sleep,
+    ):
+        self.cases = list(cases)
+        self.store = store
+        self.config = config or ExecutorConfig()
+        self._sleep = sleep
+        self.runner = CaseRunner(self.config, sleep=sleep)
+
+    # ------------------------------------------------------------------ #
+    def shard_cases(self) -> "list[SweepCase]":
+        """This shard's slice of the deterministic case list."""
+        cfg = self.config
+        return [
+            c for i, c in enumerate(self.cases) if i % cfg.shards == cfg.shard_index
+        ]
+
+    def run(self) -> ExecutorReport:
+        """Execute the shard: skip, attempt/retry, journal, quarantine.
+
+        A failing case never aborts the sweep — it retries with
+        exponential backoff and lands in quarantine (journaled with its
+        failure log) once retries are exhausted.  ``KeyboardInterrupt``
+        does propagate; the journal keeps every case completed so far,
+        which is exactly what ``resume`` picks up.  With
+        ``config.workers > 1`` the shard's cases run on the work-stealing
+        pool instead of the serial loop; the journal content is identical
+        (only line order varies with the schedule).
+        """
+        cfg = self.config
+        tracer = current_tracer()
+        # Tracer counters cover one traced invocation; the process-global
+        # registry accumulates across the whole sweep with per-case labels
+        # (dumped by ``repro metrics`` / scraped as Prometheus text).
+        metrics = get_metrics()
+        done = (
+            self.store.load().completed()
+            if cfg.resume and self.store.exists()
+            else set()
+        )
+        report = ExecutorReport(shards=cfg.shards, shard_index=cfg.shard_index)
+        pending = []
+        for case in self.shard_cases():
+            if case.fingerprint in done:
+                report.skipped.append(case.fingerprint)
+                tracer.count("exec.skipped")
+                metrics.inc(
+                    "exec.skipped", kernel=case.kernel, fmt=case.fmt,
+                    platform=case.platform,
+                )
+                continue
+            pending.append(case)
+        if cfg.workers > 1 and len(pending) > 1:
+            self._run_stealing(pending, report)
+        else:
+            for case in pending:
+                fold_outcome(report, self.runner.run_case(case, self.store))
+        return report
+
+    def backoff_s(self, attempt: int) -> float:
+        """Exponential backoff before re-attempt ``attempt + 1``."""
+        return self.runner.backoff_s(attempt)
+
+    # ------------------------------------------------------------------ #
+    def _run_stealing(self, pending: "list[SweepCase]", report: ExecutorReport):
+        """Drive the pending cases through the work-stealing pool."""
+        from repro.serve.scheduler import StealScheduler
+
+        cfg = self.config
+        store_lock = threading.Lock()
+        report_lock = threading.Lock()
+
+        def run_case(case):
+            outcome = self.runner.run_case(case, self.store, store_lock=store_lock)
+            with report_lock:
+                fold_outcome(report, outcome)
+            return outcome.completed
+
+        scheduler = StealScheduler(
+            run_case,
+            workers=min(cfg.workers, len(pending)),
+            steal_seed=cfg.steal_seed,
+        )
+        scheduler.start()
+        try:
+            scheduler.submit(pending).wait()
+        finally:
+            scheduler.shutdown()
+        report.steals = scheduler.steals
+
+
+def fold_outcome(report: ExecutorReport, outcome: CaseOutcome) -> None:
+    """Aggregate one case's terminal verdict into an executor report."""
+    report.retries += outcome.retries
+    report.timeouts += outcome.timeouts
+    report.crashes += outcome.crashes
+    if outcome.completed:
+        report.completed.append(outcome.fingerprint)
+    else:
+        report.quarantined.append(outcome.fingerprint)
+        report.failures[outcome.fingerprint] = outcome.failures
 
 
 # --------------------------------------------------------------------- #

@@ -99,6 +99,23 @@ def _with_drag(fn, drag_s: float):
     return dragged
 
 
+def fingerprint_schema_version() -> str:
+    """Stable 12-hex-digit hash of the :class:`SweepCase` field set.
+
+    A case fingerprint is a hash over every ``SweepCase`` field, so two
+    fingerprints are only comparable when they were computed under the
+    same field set: adding, removing or renaming a field silently changes
+    every fingerprint.  Run-store journals stamp this value in their
+    header line so a cache lookup against a store written under a
+    different field set is rejected loudly instead of missing (or worse,
+    falsely hitting) every case.
+    """
+    import dataclasses
+
+    names = "\x1f".join(f.name for f in dataclasses.fields(SweepCase))
+    return hashlib.sha256(names.encode("utf-8")).hexdigest()[:12]
+
+
 def derive_case_seed(base_seed: int, *parts) -> int:
     """A stable 63-bit seed from ``base_seed`` and string-able ``parts``.
 

@@ -13,7 +13,13 @@ JSON objects, flushed as they are written, so
   record" (:meth:`RunState.completed`).
 
 The line schema (``STORE_VERSION``) is pinned by the golden-schema
-tests; consumers parse stores from disk, so drift must fail CI.
+tests; consumers parse stores from disk, so drift must fail CI.  Every
+fresh journal opens with a ``header`` line carrying the
+fingerprint-schema version (a hash of the :class:`SweepCase` field set):
+fingerprints are only comparable across runs when they were computed
+under the same field set, so loading a journal written under a different
+one raises instead of silently missing every cache lookup.  Legacy
+header-less journals still load.
 """
 
 from __future__ import annotations
@@ -29,6 +35,18 @@ STORE_VERSION = 1
 
 RECORD_KIND = "record"
 QUARANTINE_KIND = "quarantine"
+#: First line of every journal written since the serving layer: carries
+#: the fingerprint-schema version the store's case fingerprints were
+#: computed under, so cache lookups against a stale store fail loudly.
+HEADER_KIND = "header"
+
+
+def _current_fingerprint_schema() -> str:
+    # Lazy: repro.bench.runner pulls in the kernel stack, which a
+    # journal reader does not need until it actually validates.
+    from repro.bench.runner import fingerprint_schema_version
+
+    return fingerprint_schema_version()
 
 
 class StoreError(ValueError):
@@ -49,6 +67,8 @@ class RunState:
     records: dict = field(default_factory=dict)
     quarantined: dict = field(default_factory=dict)
     truncated_lines: int = 0
+    #: The journal's header line, when present (legacy stores have none).
+    header: "dict | None" = None
 
     def completed(self) -> set:
         """Fingerprints that need no re-run."""
@@ -121,44 +141,60 @@ class RunStore:
                 return
             f.truncate(data.rfind(b"\n") + 1)
 
+    def header_line(self) -> dict:
+        """The header stamped onto every fresh journal."""
+        return {
+            "v": STORE_VERSION,
+            "kind": HEADER_KIND,
+            "fingerprint_schema": _current_fingerprint_schema(),
+        }
+
     def _append(self, payload: dict) -> None:
         line = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
         self._repair_tail()
+        fresh = not os.path.exists(self.path) or os.path.getsize(self.path) == 0
         with open(self.path, "a") as f:
+            if fresh and payload.get("kind") != HEADER_KIND:
+                f.write(
+                    json.dumps(
+                        self.header_line(), sort_keys=True, separators=(",", ":")
+                    )
+                    + "\n"
+                )
             f.write(line + "\n")
             f.flush()
             os.fsync(f.fileno())
 
     def append_record(
         self, case, record: PerfRecord, attempt: int, elapsed_s: float
-    ) -> None:
-        """Journal one completed case."""
-        self._append(
-            {
-                "v": STORE_VERSION,
-                "kind": RECORD_KIND,
-                "fingerprint": case.fingerprint,
-                "seed": case.case_seed,
-                "case": case.to_dict(),
-                "attempt": int(attempt),
-                "elapsed_s": float(elapsed_s),
-                "record": record.to_dict(),
-            }
-        )
+    ) -> dict:
+        """Journal one completed case; returns the written line payload."""
+        payload = {
+            "v": STORE_VERSION,
+            "kind": RECORD_KIND,
+            "fingerprint": case.fingerprint,
+            "seed": case.case_seed,
+            "case": case.to_dict(),
+            "attempt": int(attempt),
+            "elapsed_s": float(elapsed_s),
+            "record": record.to_dict(),
+        }
+        self._append(payload)
+        return payload
 
-    def append_quarantine(self, case, failures) -> None:
+    def append_quarantine(self, case, failures) -> dict:
         """Journal a case that exhausted its retries, with its failure log."""
-        self._append(
-            {
-                "v": STORE_VERSION,
-                "kind": QUARANTINE_KIND,
-                "fingerprint": case.fingerprint,
-                "seed": case.case_seed,
-                "case": case.to_dict(),
-                "failures": [dict(f) for f in failures],
-            }
-        )
+        payload = {
+            "v": STORE_VERSION,
+            "kind": QUARANTINE_KIND,
+            "fingerprint": case.fingerprint,
+            "seed": case.case_seed,
+            "case": case.to_dict(),
+            "failures": [dict(f) for f in failures],
+        }
+        self._append(payload)
+        return payload
 
     # -- reading ------------------------------------------------------- #
     def load(self) -> RunState:
@@ -197,6 +233,22 @@ class RunStore:
                     f"{self.path}:{i + 1}: store version "
                     f"{payload.get('v')!r} != {STORE_VERSION}"
                 )
+            if payload.get("kind") == HEADER_KIND:
+                schema = payload.get("fingerprint_schema")
+                current = _current_fingerprint_schema()
+                if schema != current:
+                    # Fingerprints in this journal were computed under a
+                    # different SweepCase field set: every cache lookup
+                    # against it would silently miss (or falsely hit), so
+                    # reading it is an error, not a degraded mode.
+                    raise StoreError(
+                        f"{self.path}:{i + 1}: store fingerprint schema "
+                        f"{schema!r} != current {current!r} — the SweepCase "
+                        f"field set changed since this journal was written; "
+                        f"re-run the sweep into a fresh store"
+                    )
+                state.header = payload
+                continue
             try:
                 state.absorb(payload)
             except StoreError as exc:
@@ -231,7 +283,7 @@ def merge_stores(paths, out_path=None) -> RunState:
             os.remove(out.path)
         os.makedirs(os.path.dirname(out.path) or ".", exist_ok=True)
         with open(out.path, "w") as f:
-            for line in list(merged.records.values()) + list(
+            for line in [out.header_line()] + list(merged.records.values()) + list(
                 merged.quarantined.values()
             ):
                 f.write(json.dumps(line, sort_keys=True, separators=(",", ":")) + "\n")

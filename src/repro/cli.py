@@ -22,6 +22,13 @@ Subcommands
                 stores (or a store vs a committed ``BENCH_*.json``) by
                 per-group geomean time ratios with bootstrap CIs; exits
                 nonzero on a confident regression.
+``serve``     — benchmark-as-a-service daemon on a local socket: answers
+                ``sweep``/``report``/``regress``/``status`` requests
+                from many concurrent clients, cache hits served straight
+                from the run store by case fingerprint, misses executed
+                once (single-flight) on a work-stealing pool.
+``client``    — send one request to a running ``serve`` daemon and print
+                the result payload as JSON (progress lines to stderr).
 ``metrics``   — dump the metrics registry (Prometheus text or JSON),
                 optionally reconstructed from a run store.
 ``ingest-bench`` — live FireHose ingestion benchmark: a seeded generator
@@ -216,6 +223,8 @@ def _cmd_sweep(args) -> int:
             resume=args.resume,
             isolation=args.isolation,
             faults=faults,
+            workers=args.workers,
+            steal_seed=args.steal_seed,
         ),
     )
     shard = executor.shard_cases()
@@ -270,6 +279,80 @@ def _cmd_regress(args) -> int:
     else:
         print(report.render())
     return report.exit_code
+
+
+def _cmd_serve(args) -> int:
+    import json
+
+    from repro.serve import BenchService, ServeConfig
+
+    faults = {}
+    if args.faults:
+        if args.faults.lstrip().startswith("{"):
+            faults = json.loads(args.faults)
+        else:
+            with open(args.faults) as f:
+                faults = json.load(f)
+    service = BenchService(
+        ServeConfig(
+            socket_path=args.socket,
+            store_path=args.store,
+            workers=args.workers,
+            steal_seed=args.steal_seed,
+            isolation=args.isolation,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            faults=faults,
+            metrics_port=args.metrics_port,
+        )
+    )
+
+    def ready():
+        records, quarantined = service.cache.counts()
+        print(
+            f"serving on {args.socket} (store {args.store}: {records} cached "
+            f"record(s), {quarantined} quarantined; {args.workers} worker(s))",
+            flush=True,
+        )
+        if service.metrics_port_bound is not None:
+            print(
+                f"metrics (Prometheus) on http://127.0.0.1:"
+                f"{service.metrics_port_bound}/metrics",
+                flush=True,
+            )
+
+    service.serve_forever(ready=ready)
+    return 0
+
+
+def _cmd_client(args) -> int:
+    import json
+
+    from repro.serve import ServeError, wait_for_socket
+    from repro.serve.client import ServeClient
+
+    params = json.loads(args.params) if args.params else {}
+    if args.wait:
+        wait_for_socket(args.socket, timeout_s=args.wait)
+
+    def on_progress(payload):
+        print(
+            f"progress: {payload['done']}/{payload['total']} done "
+            f"({payload['hits']} cache hit(s), {payload['pending']} pending)",
+            file=sys.stderr,
+        )
+
+    try:
+        with ServeClient(args.socket, timeout_s=args.timeout) as client:
+            payload = client.request(args.op, params, on_progress=on_progress)
+    except ServeError as exc:
+        print(f"client: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    # A regress verdict propagates like ``repro regress`` would exit.
+    if args.op == "regress":
+        return int(payload.get("exit_code", 0))
+    return 0
 
 
 def _cmd_metrics(args) -> int:
@@ -831,6 +914,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-attempts (exponential backoff) before quarantining a case",
     )
     p_sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="concurrent case workers inside this shard (> 1 enables the "
+        "work-stealing pool; records stay bit-identical to --workers 1)",
+    )
+    p_sweep.add_argument(
+        "--steal-seed", type=int, default=0,
+        help="seed of the stealing pool's victim-selection RNGs",
+    )
+    p_sweep.add_argument(
         "--resume", action="store_true",
         help="skip cases already journaled in --store",
     )
@@ -914,6 +1006,68 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the full report as JSON"
     )
     p_regress.set_defaults(func=_cmd_regress)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="benchmark-as-a-service daemon: fingerprint-keyed result "
+        "cache over a run store, single-flight deduplication, and a "
+        "work-stealing execution pool behind a local-socket JSON-lines "
+        "protocol",
+    )
+    p_serve.add_argument(
+        "--socket", required=True, help="Unix socket path to listen on"
+    )
+    p_serve.add_argument(
+        "--store", default="results/serve.jsonl",
+        help="run-store JSONL journal backing the result cache",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2,
+        help="work-stealing pool width for cache-miss execution",
+    )
+    p_serve.add_argument("--steal-seed", type=int, default=0)
+    p_serve.add_argument(
+        "--isolation", choices=["process", "inline"], default="inline",
+        help="per-case isolation of executed cases (inline default: the "
+        "daemon is long-lived and local)",
+    )
+    p_serve.add_argument("--timeout", type=float, default=120.0)
+    p_serve.add_argument("--retries", type=int, default=2)
+    p_serve.add_argument(
+        "--faults", metavar="JSON",
+        help="fault-injection table (inline JSON or a path), as for sweep",
+    )
+    p_serve.add_argument(
+        "--metrics-port", type=int, default=None,
+        help="expose Prometheus metrics over HTTP on this TCP port "
+        "(0 = ephemeral)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_client = sub.add_parser(
+        "client",
+        help="send one request to a running serve daemon; prints the "
+        "result payload as JSON (progress to stderr)",
+    )
+    p_client.add_argument(
+        "--socket", required=True, help="Unix socket of the daemon"
+    )
+    p_client.add_argument(
+        "op", choices=["sweep", "report", "regress", "status"],
+    )
+    p_client.add_argument(
+        "--params", metavar="JSON",
+        help='request params as inline JSON, e.g. \'{"tensors": ["r1"]}\'',
+    )
+    p_client.add_argument(
+        "--timeout", type=float, default=None,
+        help="socket timeout in seconds (default: block indefinitely)",
+    )
+    p_client.add_argument(
+        "--wait", type=float, default=None, metavar="SECONDS",
+        help="wait up to this long for the daemon socket to accept",
+    )
+    p_client.set_defaults(func=_cmd_client)
 
     p_metrics = sub.add_parser(
         "metrics",

@@ -201,6 +201,24 @@ class MetricsRegistry:
             return 0.0
         return self._aggregate(metric).get(_label_key(labels), 0.0)
 
+    def counter_totals(self, prefix: "str | None" = None) -> dict:
+        """``name -> total`` for counters, summed across label sets.
+
+        ``prefix`` filters by name prefix (e.g. ``"serve."``) — the
+        serve daemon's ``status`` op reports its counters this way.
+        """
+        out = {}
+        with self._lock:
+            metrics = dict(self._metrics)
+        for name in sorted(metrics):
+            metric = metrics[name]
+            if metric.kind != COUNTER:
+                continue
+            if prefix and not name.startswith(prefix):
+                continue
+            out[name] = float(sum(self._aggregate(metric).values()))
+        return out
+
     def histogram_snapshot(self, name: str, **labels) -> dict:
         """``{"count": n, "sum": s, "buckets": {le: cumulative_count}}``."""
         metric = self._metrics.get(name)

@@ -1,0 +1,59 @@
+"""Benchmark-as-a-service: cache-front daemon over the sweep executor.
+
+The executor layer (PR 4) made every sweep case a stable fingerprint
+journaled in an append-only run store; this package turns those
+primitives into a *serving* system, where most traffic is an O(1) cache
+hit over previously measured cases:
+
+* :mod:`repro.serve.protocol` — the versioned JSON-lines wire format
+  (``sweep`` / ``report`` / ``regress`` / ``status`` requests, streamed
+  ``progress`` lines, one terminal ``result`` or ``error`` per request);
+* :mod:`repro.serve.cache` — the fingerprint-keyed result cache layered
+  over a validated run store (record-supersedes-quarantine preserved);
+* :mod:`repro.serve.scheduler` — the work-stealing pool that executes
+  cache-miss cases: per-worker deques, steal-from-victim-tail, and
+  single-flight deduplication so concurrent identical requests never
+  execute a case twice;
+* :mod:`repro.serve.daemon` — the asyncio front end multiplexing many
+  concurrent clients over a local socket, journaling through the run
+  store (a killed daemon resumes cleanly) and streaming ``serve.*``
+  counters through the metrics registry;
+* :mod:`repro.serve.client` — sync and asyncio clients plus the
+  ``repro client`` CLI surface.
+"""
+
+from repro.serve.cache import ResultCache
+from repro.serve.client import ServeClient, ServeError, async_request, wait_for_socket
+from repro.serve.daemon import BenchService, ServeConfig
+from repro.serve.protocol import (
+    OPS,
+    PROTOCOL_VERSION,
+    SERVE_COUNTERS,
+    ProtocolError,
+    make_request,
+    make_response,
+    validate_request,
+    validate_response,
+)
+from repro.serve.scheduler import SchedulerError, StealScheduler, SweepTicket
+
+__all__ = [
+    "BenchService",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ResultCache",
+    "SERVE_COUNTERS",
+    "SchedulerError",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "StealScheduler",
+    "SweepTicket",
+    "async_request",
+    "make_request",
+    "make_response",
+    "validate_request",
+    "validate_response",
+    "wait_for_socket",
+]

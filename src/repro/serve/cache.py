@@ -1,0 +1,83 @@
+"""Fingerprint-keyed result cache layered over a run store.
+
+The run store already *is* a cache on disk — every completed case is one
+``record`` line keyed by its :class:`~repro.bench.runner.SweepCase`
+fingerprint.  This class is the in-memory, thread-safe view the serve
+daemon answers from: load the journal once (validated against the
+current fingerprint schema — a stale store raises instead of silently
+missing), then serve lookups under a lock while the stealing pool's
+workers push freshly journaled lines in via :meth:`add`.
+
+Semantics mirror :class:`~repro.bench.runstore.RunState` exactly —
+later lines win, a record supersedes a quarantine for the same
+fingerprint — so the cache never diverges from what a process restart
+would reload from the journal.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.bench.runstore import (
+    QUARANTINE_KIND,
+    RECORD_KIND,
+    RunStore,
+    StoreError,
+)
+from repro.metrics.perf import PerfRecord
+
+
+class ResultCache:
+    """Thread-safe fingerprint -> journal-line view of one run store."""
+
+    def __init__(self, store: RunStore):
+        self.store = store
+        self._lock = threading.Lock()
+        self._state = store.load()  # raises StoreError on a stale schema
+
+    # -- reads --------------------------------------------------------- #
+    def has(self, fingerprint: str) -> bool:
+        """True when the fingerprint has a successful record."""
+        with self._lock:
+            return fingerprint in self._state.records
+
+    def lookup(self, fingerprint: str) -> "dict | None":
+        """The record line for a fingerprint, or None on a miss.
+
+        Quarantined fingerprints miss — a re-request is allowed to retry
+        them, and a later success supersedes the quarantine, exactly as
+        on a resumed sweep.
+        """
+        with self._lock:
+            return self._state.records.get(fingerprint)
+
+    def quarantined(self, fingerprint: str) -> "dict | None":
+        with self._lock:
+            return self._state.quarantined.get(fingerprint)
+
+    def completed(self) -> "set[str]":
+        with self._lock:
+            return set(self._state.records)
+
+    def counts(self) -> "tuple[int, int]":
+        """``(records, quarantined)`` sizes."""
+        with self._lock:
+            return len(self._state.records), len(self._state.quarantined)
+
+    def perf_records(self, case_order=None) -> "list[PerfRecord]":
+        """Stored measurements, optionally in enumerated case order."""
+        with self._lock:
+            return self._state.perf_records(case_order)
+
+    # -- writes -------------------------------------------------------- #
+    def add(self, line: dict) -> None:
+        """Absorb one freshly journaled line (record or quarantine).
+
+        Callers journal to the store first, then add the returned
+        payload here — write-through order, so a crash between the two
+        loses only the in-memory copy the restart reloads anyway.
+        """
+        if line.get("kind") not in (RECORD_KIND, QUARANTINE_KIND):
+            raise StoreError(f"cannot cache line kind {line.get('kind')!r}")
+        with self._lock:
+            self._state.absorb(line)

@@ -1,0 +1,385 @@
+"""The benchmark daemon: an asyncio cache front over the sweep executor.
+
+``BenchService`` listens on a local Unix socket speaking the JSON-lines
+protocol (:mod:`repro.serve.protocol`).  Many clients connect at once
+and each connection multiplexes many in-flight requests; every request
+is served from three layers:
+
+1. **cache** — fingerprints with a journaled record answer straight from
+   the :class:`~repro.serve.cache.ResultCache` (O(1), no execution);
+2. **single-flight** — fingerprints already executing for another
+   request coalesce onto that execution;
+3. **pool** — genuinely new fingerprints queue onto the work-stealing
+   pool (:class:`~repro.serve.scheduler.StealScheduler`), which drives
+   them through the same :class:`~repro.bench.executor.CaseRunner`
+   retry/quarantine state machine as ``repro sweep``.
+
+Every execution journals through the :class:`~repro.bench.runstore.RunStore`
+*before* the cache and the scheduler publish it, so a daemon killed
+mid-sweep loses nothing journaled: restart it on the same store and the
+journaled cases are cache hits while the rest re-execute — the final
+store is identical to an uninterrupted run (case seeds derive from
+fingerprints, never from scheduling).
+
+Observability: ``serve.*`` counters and the ``serve.request_seconds``
+histogram stream through the process metrics registry, scrapeable live
+from the optional HTTP endpoint (``metrics_port``) in Prometheus text
+format, and summarized by the ``status`` op.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.bench.executor import CaseRunner, ExecutorConfig, build_sweep_cases
+from repro.bench.runner import RunnerConfig
+from repro.bench.runstore import RunStore
+from repro.obs.registry import get_metrics
+from repro.serve import protocol
+from repro.serve.cache import ResultCache
+from repro.serve.scheduler import StealScheduler
+
+
+@dataclass
+class ServeConfig:
+    """Daemon wiring: where to listen, where to journal, how to execute."""
+
+    socket_path: str
+    store_path: str = "results/serve.jsonl"
+    #: Work-stealing pool width.
+    workers: int = 2
+    steal_seed: int = 0
+    #: ``"inline"`` (default: the daemon is long-lived and cases are
+    #: trusted) or ``"process"`` for subprocess isolation per attempt.
+    isolation: str = "inline"
+    timeout_s: float = 120.0
+    retries: int = 2
+    #: Fault-injection table, forwarded to the executor (tests/CI smoke).
+    faults: dict = field(default_factory=dict)
+    #: Seconds between streamed ``progress`` lines of a pending sweep.
+    progress_interval_s: float = 0.25
+    #: TCP port of the Prometheus scrape endpoint (``None`` disables,
+    #: ``0`` picks an ephemeral port).
+    metrics_port: "int | None" = None
+
+    def executor_config(self) -> ExecutorConfig:
+        return ExecutorConfig(
+            timeout_s=self.timeout_s,
+            retries=self.retries,
+            isolation=self.isolation,
+            faults=dict(self.faults),
+            workers=self.workers,
+            steal_seed=self.steal_seed,
+        )
+
+
+class BenchService:
+    """One daemon instance: socket front end + cache + stealing pool."""
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self.store = RunStore(config.store_path)
+        self.cache = ResultCache(self.store)  # raises on a stale store
+        self.runner = CaseRunner(config.executor_config())
+        self._store_lock = threading.Lock()
+        self.scheduler = StealScheduler(
+            self._execute_case,
+            workers=config.workers,
+            steal_seed=config.steal_seed,
+        )
+        self.metrics = get_metrics()
+        self._stop = None  # asyncio.Event, created inside run()
+        self._loop = None
+        self._server = None
+        self._connections = set()  # live (task, writer) pairs
+        self._metrics_server = None
+        #: Actual Prometheus endpoint port once bound (ephemeral-capable).
+        self.metrics_port_bound: "int | None" = None
+
+    # ------------------------------------------------------------------ #
+    # execution (pool threads)
+    # ------------------------------------------------------------------ #
+    def _execute_case(self, case) -> bool:
+        """Pool callback: run, journal, cache — in that order.
+
+        The cache absorbs the journal line *before* this returns, i.e.
+        before the scheduler removes the fingerprint from its live map —
+        so at every instant a submitted fingerprint is a cache hit, an
+        in-flight coalesce, or a fresh queue: never silently lost.
+        """
+        outcome = self.runner.run_case(
+            case, self.store, store_lock=self._store_lock
+        )
+        self.cache.add(outcome.line)
+        if not outcome.completed:
+            self.metrics.inc("serve.quarantined")
+        return outcome.completed
+
+    # ------------------------------------------------------------------ #
+    # request handlers (asyncio)
+    # ------------------------------------------------------------------ #
+    async def _handle_sweep(self, params: dict, send) -> dict:
+        scale = float(params.get("scale", 1000.0))
+        seed = int(params.get("seed", 0))
+        runner_config = RunnerConfig(
+            rank=int(params.get("rank", 16)),
+            measure_host=False,  # serving requires deterministic records
+            cache_scale=scale,
+            seed=seed,
+        )
+        cases = await asyncio.to_thread(
+            build_sweep_cases,
+            dataset=params.get("dataset", "synthetic"),
+            scale=scale,
+            seed=seed,
+            keys=params.get("tensors"),
+            platforms=tuple(params.get("platforms", ("Bluesky",))),
+            config=runner_config,
+        )
+        # Hits / coalesces / queues classify atomically under the
+        # scheduler lock (the cache probe runs inside submit), so a case
+        # completing concurrently is a hit, never a duplicate execution.
+        ticket = self.scheduler.submit(cases, completed=self.cache.has)
+        self.metrics.inc("serve.cache_hits", len(ticket.hits))
+        self.metrics.inc(
+            "serve.cache_misses", len(ticket.coalesced) + len(ticket.queued)
+        )
+        self.metrics.inc("serve.coalesced", len(ticket.coalesced))
+        self.metrics.inc("serve.executed", len(ticket.queued))
+        while True:
+            finished = await asyncio.to_thread(
+                ticket.wait, self.config.progress_interval_s
+            )
+            if finished:
+                break
+            await send(
+                {
+                    "total": ticket.total,
+                    "hits": len(ticket.hits),
+                    "done": ticket.done_count(),
+                    "pending": ticket.pending_count(),
+                }
+            )
+        completed, quarantined, records = [], [], []
+        for fp in ticket.fingerprints:
+            line = self.cache.lookup(fp)
+            if line is not None:
+                completed.append(fp)
+                records.append(line["record"])
+            else:
+                quarantined.append(fp)
+        return {
+            "total": ticket.total,
+            "hits": len(ticket.hits),
+            "misses": len(ticket.coalesced) + len(ticket.queued),
+            "coalesced": len(ticket.coalesced),
+            "executed": len(ticket.queued),
+            "completed": completed,
+            "quarantined": quarantined,
+            "fingerprints": list(ticket.fingerprints),
+            "records": records,
+        }
+
+    async def _handle_report(self, params: dict, send) -> dict:
+        from repro.bench.report import build_report
+
+        fmt = params.get("format", "text")
+        records = self.cache.perf_records()
+        report = await asyncio.to_thread(build_report, records)
+        body = report.as_dict() if fmt == "json" else report.render(fmt)
+        return {"format": fmt, "nrecords": len(records), "report": body}
+
+    async def _handle_regress(self, params: dict, send) -> dict:
+        from repro.bench.regress import compare_paths
+
+        report = await asyncio.to_thread(
+            compare_paths,
+            params["baseline"],
+            self.store.path,
+            threshold=float(params.get("threshold", 1.05)),
+            confidence=float(params.get("confidence", 0.95)),
+            resamples=int(params.get("resamples", 1000)),
+            min_pairs=int(params.get("min_pairs", 2)),
+            seed=int(params.get("seed", 0)),
+        )
+        return {
+            "baseline": params["baseline"],
+            "candidate": self.store.path,
+            "exit_code": report.exit_code,
+            "report": report.as_dict(),
+        }
+
+    async def _handle_status(self, params: dict, send) -> dict:
+        from repro.bench.runner import fingerprint_schema_version
+
+        nrecords, nquarantined = self.cache.counts()
+        return {
+            "protocol": protocol.PROTOCOL_VERSION,
+            "store": self.store.path,
+            "fingerprint_schema": fingerprint_schema_version(),
+            "records": nrecords,
+            "quarantined": nquarantined,
+            "inflight": self.scheduler.inflight(),
+            "workers": self.config.workers,
+            "isolation": self.config.isolation,
+            "counters": self.metrics.counter_totals(prefix="serve."),
+        }
+
+    _HANDLERS = {
+        protocol.OP_SWEEP: _handle_sweep,
+        protocol.OP_REPORT: _handle_report,
+        protocol.OP_REGRESS: _handle_regress,
+        protocol.OP_STATUS: _handle_status,
+    }
+
+    # ------------------------------------------------------------------ #
+    # connection plumbing
+    # ------------------------------------------------------------------ #
+    async def _dispatch(self, request: dict, send) -> None:
+        rid, op = request["id"], request["op"]
+        self.metrics.inc("serve.requests", op=op)
+        t0 = time.perf_counter()
+
+        async def send_progress(payload):
+            await send(
+                protocol.make_response(rid, protocol.KIND_PROGRESS, payload)
+            )
+
+        try:
+            handler = self._HANDLERS[op]
+            payload = await handler(self, request["params"], send_progress)
+            await send(
+                protocol.make_response(rid, protocol.KIND_RESULT, payload)
+            )
+        except Exception as exc:  # noqa: BLE001 - reported on the wire
+            self.metrics.inc("serve.errors", op=op)
+            await send(
+                protocol.error_response(rid, f"{type(exc).__name__}: {exc}")
+            )
+        finally:
+            self.metrics.observe(
+                "serve.request_seconds", time.perf_counter() - t0, op=op
+            )
+
+    async def _client_connected(self, reader, writer) -> None:
+        conn = (asyncio.current_task(), writer)
+        self._connections.add(conn)
+        write_lock = asyncio.Lock()
+        inflight = set()
+
+        async def send(obj: dict) -> None:
+            async with write_lock:
+                writer.write(protocol.encode(obj))
+                await writer.drain()
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    request = protocol.validate_request(protocol.decode(line))
+                except protocol.ProtocolError as exc:
+                    self.metrics.inc("serve.errors", op="protocol")
+                    rid = "?"
+                    try:
+                        rid = str(protocol.decode(line).get("id", "?"))
+                    except protocol.ProtocolError:
+                        pass
+                    await send(protocol.error_response(rid, str(exc)))
+                    continue
+                task = asyncio.ensure_future(self._dispatch(request, send))
+                inflight.add(task)
+                task.add_done_callback(inflight.discard)
+        finally:
+            self._connections.discard(conn)
+            if inflight:
+                await asyncio.gather(*inflight, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError, asyncio.CancelledError):
+                pass
+
+    async def _metrics_scrape(self, reader, writer) -> None:
+        """Minimal HTTP/1.0 Prometheus scrape endpoint (GET anything)."""
+        try:
+            while True:
+                line = await reader.readline()
+                if line in (b"", b"\r\n", b"\n"):
+                    break
+            body = self.metrics.render_prometheus().encode("utf-8")
+            writer.write(
+                b"HTTP/1.0 200 OK\r\n"
+                b"Content-Type: text/plain; version=0.0.4\r\n"
+                + f"Content-Length: {len(body)}\r\n\r\n".encode("ascii")
+                + body
+            )
+            await writer.drain()
+        finally:
+            writer.close()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def stop(self) -> None:
+        """Ask the serve loop to exit (thread/signal-safe once running)."""
+        if self._stop is not None and self._loop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+
+    async def run(self, ready=None) -> None:
+        """Serve until stopped; ``ready`` (a callable) fires once bound."""
+        self._stop = asyncio.Event()
+        self._loop = asyncio.get_running_loop()
+        self.scheduler.start()
+        sock = self.config.socket_path
+        os.makedirs(os.path.dirname(sock) or ".", exist_ok=True)
+        if os.path.exists(sock):
+            os.unlink(sock)  # stale socket from a killed daemon
+        self._server = await asyncio.start_unix_server(
+            self._client_connected, path=sock
+        )
+        if self.config.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._metrics_scrape, host="127.0.0.1",
+                port=self.config.metrics_port,
+            )
+            self.metrics_port_bound = self._metrics_server.sockets[0].getsockname()[1]
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, self._stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        if ready is not None:
+            ready()
+        try:
+            await self._stop.wait()
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+            if self._metrics_server is not None:
+                self._metrics_server.close()
+                await self._metrics_server.wait_closed()
+            # Drain open connections instead of letting loop teardown
+            # cancel their handler tasks mid-await: closing the writer
+            # EOFs the reader, so each handler exits its read loop.
+            for task, writer in list(self._connections):
+                writer.close()
+            tasks = [task for task, _ in self._connections]
+            if tasks:
+                await asyncio.wait(tasks, timeout=10)
+            self.scheduler.shutdown()
+            if os.path.exists(sock):
+                os.unlink(sock)
+
+    def serve_forever(self, ready=None) -> None:
+        """Blocking entry point (the ``repro serve`` CLI)."""
+        asyncio.run(self.run(ready=ready))

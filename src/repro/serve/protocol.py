@@ -1,0 +1,194 @@
+"""Versioned JSON-lines wire protocol of the serve daemon.
+
+One request per line, one or more response lines per request:
+
+* request — ``{"v": 1, "id": "<client-chosen>", "op": "sweep",
+  "params": {...}}``; ``id`` correlates responses on a multiplexed
+  connection (many requests may be in flight per connection).
+* response — ``{"v": 1, "id": ..., "ok": bool, "kind": "progress" |
+  "result" | "error", "payload": {...}}``.  A request yields zero or
+  more ``progress`` lines followed by exactly one terminal ``result``
+  (``ok=true``) or ``error`` (``ok=false``).
+
+The key sets below are pinned by ``tests/test_golden_schema.py`` —
+scripted clients parse these lines, so wire drift must fail CI.  Bump
+:data:`PROTOCOL_VERSION` on any backwards-incompatible change.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: Bumped on any backwards-incompatible wire change.
+PROTOCOL_VERSION = 1
+
+OP_SWEEP = "sweep"
+OP_REPORT = "report"
+OP_REGRESS = "regress"
+OP_STATUS = "status"
+OPS = (OP_SWEEP, OP_REPORT, OP_REGRESS, OP_STATUS)
+
+KIND_PROGRESS = "progress"
+KIND_RESULT = "result"
+KIND_ERROR = "error"
+RESPONSE_KINDS = (KIND_PROGRESS, KIND_RESULT, KIND_ERROR)
+
+REQUEST_KEYS = ("v", "id", "op", "params")
+RESPONSE_KEYS = ("v", "id", "ok", "kind", "payload")
+
+#: Accepted ``params`` keys per op (all optional unless noted).
+SWEEP_PARAM_KEYS = ("dataset", "tensors", "platforms", "scale", "seed", "rank")
+REPORT_PARAM_KEYS = ("format",)
+#: ``baseline`` (a run store or BENCH_*.json path) is required.
+REGRESS_PARAM_KEYS = (
+    "baseline", "threshold", "confidence", "resamples", "min_pairs", "seed",
+)
+STATUS_PARAM_KEYS = ()
+PARAM_KEYS = {
+    OP_SWEEP: SWEEP_PARAM_KEYS,
+    OP_REPORT: REPORT_PARAM_KEYS,
+    OP_REGRESS: REGRESS_PARAM_KEYS,
+    OP_STATUS: STATUS_PARAM_KEYS,
+}
+
+#: ``result`` payload keys per op.
+SWEEP_RESULT_KEYS = (
+    "total",        # cases the request enumerated
+    "hits",         # served straight from the cache
+    "misses",       # not in cache (coalesced + executed)
+    "coalesced",    # misses attached to an already-inflight execution
+    "executed",     # misses this request queued for execution
+    "completed",    # fingerprints with a record after the request
+    "quarantined",  # fingerprints that exhausted retries
+    "fingerprints", # full case-order fingerprint list
+    "records",      # PerfRecord dicts, case order, quarantined omitted
+)
+REPORT_RESULT_KEYS = ("format", "nrecords", "report")
+REGRESS_RESULT_KEYS = ("baseline", "candidate", "exit_code", "report")
+STATUS_RESULT_KEYS = (
+    "protocol", "store", "fingerprint_schema", "records", "quarantined",
+    "inflight", "workers", "isolation", "counters",
+)
+PROGRESS_KEYS = ("total", "hits", "done", "pending")
+
+#: Counter/histogram names the daemon feeds through the metrics
+#: registry (scraped via the Prometheus endpoint or ``status``).
+SERVE_COUNTERS = (
+    "serve.cache_hits",
+    "serve.cache_misses",
+    "serve.coalesced",
+    "serve.errors",
+    "serve.executed",
+    "serve.quarantined",
+    "serve.requests",
+    "serve.steals",
+)
+SERVE_HISTOGRAMS = ("serve.request_seconds",)
+
+
+class ProtocolError(ValueError):
+    """A wire object that violates the pinned schema."""
+
+
+def make_request(op: str, params: "dict | None" = None, id: str = "0") -> dict:
+    """A validated request object."""
+    return validate_request(
+        {"v": PROTOCOL_VERSION, "id": str(id), "op": op, "params": dict(params or {})}
+    )
+
+
+def validate_request(obj) -> dict:
+    """Check a decoded request against the pinned schema; returns it."""
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"request must be a JSON object, got {type(obj).__name__}"
+        )
+    if set(obj) != set(REQUEST_KEYS):
+        raise ProtocolError(
+            f"request keys {sorted(obj)} != {sorted(REQUEST_KEYS)}"
+        )
+    if obj["v"] != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version {obj['v']!r} != {PROTOCOL_VERSION}"
+        )
+    op = obj["op"]
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}; expected one of {OPS}")
+    params = obj["params"]
+    if not isinstance(params, dict):
+        raise ProtocolError(f"params must be an object, got {type(params).__name__}")
+    allowed = set(PARAM_KEYS[op])
+    unknown = set(params) - allowed
+    if unknown:
+        raise ProtocolError(
+            f"unknown {op} param(s) {sorted(unknown)}; allowed: {sorted(allowed)}"
+        )
+    if op == OP_REGRESS and "baseline" not in params:
+        raise ProtocolError("regress requires params.baseline")
+    return obj
+
+
+def make_response(id: str, kind: str, payload: dict) -> dict:
+    """A validated response object (``ok`` derives from ``kind``)."""
+    return validate_response(
+        {
+            "v": PROTOCOL_VERSION,
+            "id": str(id),
+            "ok": kind != KIND_ERROR,
+            "kind": kind,
+            "payload": dict(payload),
+        }
+    )
+
+
+def error_response(id: str, message: str) -> dict:
+    return make_response(id, KIND_ERROR, {"error": str(message)})
+
+
+def validate_response(obj) -> dict:
+    """Check a decoded response against the pinned schema; returns it."""
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"response must be a JSON object, got {type(obj).__name__}"
+        )
+    if set(obj) != set(RESPONSE_KEYS):
+        raise ProtocolError(
+            f"response keys {sorted(obj)} != {sorted(RESPONSE_KEYS)}"
+        )
+    if obj["v"] != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version {obj['v']!r} != {PROTOCOL_VERSION}"
+        )
+    if obj["kind"] not in RESPONSE_KINDS:
+        raise ProtocolError(
+            f"unknown response kind {obj['kind']!r}; expected {RESPONSE_KINDS}"
+        )
+    if obj["ok"] != (obj["kind"] != KIND_ERROR):
+        raise ProtocolError(f"ok={obj['ok']!r} inconsistent with kind={obj['kind']!r}")
+    if not isinstance(obj["payload"], dict):
+        raise ProtocolError(
+            f"payload must be an object, got {type(obj['payload']).__name__}"
+        )
+    return obj
+
+
+def encode(obj: dict) -> bytes:
+    """One wire line (newline-terminated canonical JSON)."""
+    return (
+        json.dumps(obj, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def decode(line: "bytes | str") -> dict:
+    """Parse one wire line into a dict (schema NOT yet validated)."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8")
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"undecodable wire line: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"wire line must be a JSON object, got {type(obj).__name__}"
+        )
+    return obj

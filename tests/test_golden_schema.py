@@ -68,6 +68,41 @@ RECORD_LINE_KEYS = {
 
 QUARANTINE_LINE_KEYS = {"v", "kind", "fingerprint", "seed", "case", "failures"}
 
+HEADER_LINE_KEYS = {"v", "kind", "fingerprint_schema"}
+
+# Serve-protocol goldens (repro.serve.protocol): scripted clients parse
+# these wire lines and scrape these metric names.
+SERVE_REQUEST_KEYS = {"v", "id", "op", "params"}
+SERVE_RESPONSE_KEYS = {"v", "id", "ok", "kind", "payload"}
+SERVE_OPS = {"sweep", "report", "regress", "status"}
+SERVE_PARAM_KEYS = {
+    "sweep": {"dataset", "tensors", "platforms", "scale", "seed", "rank"},
+    "report": {"format"},
+    "regress": {
+        "baseline", "threshold", "confidence", "resamples", "min_pairs", "seed",
+    },
+    "status": set(),
+}
+SERVE_SWEEP_RESULT_KEYS = {
+    "total", "hits", "misses", "coalesced", "executed", "completed",
+    "quarantined", "fingerprints", "records",
+}
+SERVE_STATUS_RESULT_KEYS = {
+    "protocol", "store", "fingerprint_schema", "records", "quarantined",
+    "inflight", "workers", "isolation", "counters",
+}
+SERVE_PROGRESS_KEYS = {"total", "hits", "done", "pending"}
+SERVE_COUNTER_NAMES = {
+    "serve.cache_hits",
+    "serve.cache_misses",
+    "serve.coalesced",
+    "serve.errors",
+    "serve.executed",
+    "serve.quarantined",
+    "serve.requests",
+    "serve.steals",
+}
+
 
 def sample_record(**overrides) -> PerfRecord:
     base = dict(
@@ -157,7 +192,8 @@ class TestRunStoreLines:
         store = RunStore(tmp_path / "run.jsonl")
         case = sample_case()
         store.append_record(case, sample_record(), attempt=1, elapsed_s=0.5)
-        (line,) = (tmp_path / "run.jsonl").read_text().splitlines()
+        header, line = (tmp_path / "run.jsonl").read_text().splitlines()
+        assert set(json.loads(header)) == HEADER_LINE_KEYS
         payload = json.loads(line)
         assert set(payload) == RECORD_LINE_KEYS
         assert payload["v"] == STORE_VERSION
@@ -174,7 +210,7 @@ class TestRunStoreLines:
         case = sample_case()
         failures = [{"attempt": 0, "status": "fail_timeout", "error": "t"}]
         store.append_quarantine(case, failures)
-        (line,) = (tmp_path / "run.jsonl").read_text().splitlines()
+        _header, line = (tmp_path / "run.jsonl").read_text().splitlines()
         payload = json.loads(line)
         assert set(payload) == QUARANTINE_LINE_KEYS
         assert payload["kind"] == "quarantine"
@@ -195,11 +231,36 @@ class TestRunStoreLines:
         path = tmp_path / "run.jsonl"
         store = RunStore(path)
         store.append_record(sample_case(), sample_record(), attempt=0, elapsed_s=0.1)
-        payload = json.loads(path.read_text())
+        header, line = path.read_text().splitlines()
+        payload = json.loads(line)
         payload["v"] = STORE_VERSION + 1
-        path.write_text(json.dumps(payload) + "\n")
+        path.write_text(header + "\n" + json.dumps(payload) + "\n")
         with pytest.raises(StoreError, match="version"):
             store.load()
+
+    def test_fresh_journal_opens_with_header(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        RunStore(path).append_record(
+            sample_case(), sample_record(), attempt=0, elapsed_s=0.1
+        )
+        header = json.loads(path.read_text().splitlines()[0])
+        assert set(header) == HEADER_LINE_KEYS
+        assert header["kind"] == "header"
+        assert header["v"] == STORE_VERSION
+        from repro.bench import fingerprint_schema_version
+
+        assert header["fingerprint_schema"] == fingerprint_schema_version()
+
+    def test_headerless_legacy_journal_still_loads(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        store = RunStore(path)
+        case = sample_case()
+        store.append_record(case, sample_record(), attempt=0, elapsed_s=0.1)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[1:]) + "\n")  # strip the header
+        state = store.load()
+        assert state.header is None
+        assert case.fingerprint in state.records
 
 
 # ---------------------------------------------------------------------- #
@@ -296,6 +357,73 @@ class TestRooflineBlockSchema:
         back = PerfRecord.from_dict(json.loads(json.dumps(rec.to_dict())))
         assert set(back.extra["roofline"]) == ROOFLINE_KEYS
         assert back.extra["roofline"]["boundedness"] in ("memory", "compute")
+
+
+# ---------------------------------------------------------------------- #
+# Serve wire protocol (repro.serve.protocol)
+# ---------------------------------------------------------------------- #
+
+
+class TestServeProtocolGolden:
+    def test_protocol_version_is_pinned(self):
+        from repro.serve import protocol
+
+        assert protocol.PROTOCOL_VERSION == 1
+
+    def test_ops_and_key_sets_are_pinned(self):
+        from repro.serve import protocol
+
+        assert set(protocol.OPS) == SERVE_OPS
+        assert set(protocol.REQUEST_KEYS) == SERVE_REQUEST_KEYS
+        assert set(protocol.RESPONSE_KEYS) == SERVE_RESPONSE_KEYS
+        for op, keys in SERVE_PARAM_KEYS.items():
+            assert set(protocol.PARAM_KEYS[op]) == keys, op
+        assert set(protocol.SWEEP_RESULT_KEYS) == SERVE_SWEEP_RESULT_KEYS
+        assert set(protocol.STATUS_RESULT_KEYS) == SERVE_STATUS_RESULT_KEYS
+        assert set(protocol.PROGRESS_KEYS) == SERVE_PROGRESS_KEYS
+
+    def test_serve_counter_names_are_pinned(self):
+        from repro.serve import protocol
+
+        assert set(protocol.SERVE_COUNTERS) == SERVE_COUNTER_NAMES
+        assert set(protocol.SERVE_HISTOGRAMS) == {"serve.request_seconds"}
+
+    def test_request_wire_round_trip(self):
+        from repro.serve import protocol
+
+        req = protocol.make_request("sweep", {"tensors": ["s1"]}, id="7")
+        assert set(req) == SERVE_REQUEST_KEYS
+        back = protocol.validate_request(protocol.decode(protocol.encode(req)))
+        assert back == req
+
+    def test_response_wire_round_trip(self):
+        from repro.serve import protocol
+
+        resp = protocol.make_response("7", "result", {"total": 0})
+        assert set(resp) == SERVE_RESPONSE_KEYS
+        assert resp["ok"] is True
+        err = protocol.make_response("7", "error", {"error": "boom"})
+        assert err["ok"] is False
+        back = protocol.validate_response(protocol.decode(protocol.encode(resp)))
+        assert back == resp
+
+    def test_unknown_op_and_params_are_rejected(self):
+        from repro.serve import protocol
+
+        with pytest.raises(protocol.ProtocolError, match="unknown op"):
+            protocol.make_request("explode")
+        with pytest.raises(protocol.ProtocolError, match="param"):
+            protocol.make_request("report", {"tensors": ["s1"]})
+        with pytest.raises(protocol.ProtocolError, match="baseline"):
+            protocol.make_request("regress", {"threshold": 1.1})
+
+    def test_version_drift_is_rejected(self):
+        from repro.serve import protocol
+
+        req = protocol.make_request("status")
+        req["v"] = protocol.PROTOCOL_VERSION + 1
+        with pytest.raises(protocol.ProtocolError, match="version"):
+            protocol.validate_request(req)
 
 
 # ---------------------------------------------------------------------- #

@@ -350,3 +350,78 @@ class TestKernelLinearity:
             t, w, t.nmodes - 1
         ).to_dense()
         np.testing.assert_allclose(left, right, rtol=1e-7, atol=1e-9)
+
+
+class TestStealSchedulerEquivalence:
+    """Scheduling is invisible in the results: any worker count and any
+    steal order produce the same completed fingerprints and the same
+    store contents as the single-worker run (case seeds derive from
+    fingerprints, never from execution order)."""
+
+    #: Fixed case pool the strategy draws subsets from (built lazily —
+    #: enumerate once, reuse across examples).
+    _pool = None
+
+    @classmethod
+    def case_pool(cls):
+        if cls._pool is None:
+            from repro.bench import RunnerConfig, enumerate_cases
+            from repro.types import Format, Kernel
+
+            cfg = RunnerConfig(
+                measure_host=False,
+                kernels=(Kernel.TS, Kernel.TEW, Kernel.TTV),
+                formats=(Format.COO, Format.HICOO),
+            )
+            specs = {
+                name: {
+                    "kind": "random", "shape": [20, 15, 6], "nnz": 100,
+                    "seed": 3 + i,
+                }
+                for i, name in enumerate(("a", "b"))
+            }
+            cls._pool = enumerate_cases(specs, cfg)
+        return cls._pool
+
+    @given(st.data())
+    @settings(max_examples=12, deadline=None)
+    def test_any_schedule_matches_single_worker_run(self, data):
+        import tempfile
+
+        from repro.bench import ExecutorConfig, RunStore, SuiteExecutor
+        from repro.bench.runner import derive_case_seed
+
+        pool = self.case_pool()
+        picks = data.draw(
+            st.lists(
+                st.integers(0, len(pool) - 1),
+                min_size=1, max_size=len(pool), unique=True,
+            )
+        )
+        cases = [pool[i] for i in picks]
+        workers = data.draw(st.integers(2, 4))
+        steal_seed = derive_case_seed(
+            data.draw(st.integers(0, 1000)), "property", workers
+        )
+
+        with tempfile.TemporaryDirectory(prefix="steal-prop-") as tmp:
+            serial = RunStore(f"{tmp}/serial.jsonl")
+            SuiteExecutor(
+                cases, serial, ExecutorConfig(isolation="inline"),
+                sleep=lambda s: None,
+            ).run()
+            pooled = RunStore(f"{tmp}/pooled.jsonl")
+            report = SuiteExecutor(
+                cases, pooled,
+                ExecutorConfig(
+                    isolation="inline", workers=workers, steal_seed=steal_seed,
+                ),
+                sleep=lambda s: None,
+            ).run()
+            serial_state, pooled_state = serial.load(), pooled.load()
+
+        assert sorted(report.completed) == sorted(c.fingerprint for c in cases)
+        assert set(pooled_state.records) == set(serial_state.records)
+        for fp, line in serial_state.records.items():
+            assert pooled_state.records[fp]["record"] == line["record"], fp
+            assert pooled_state.records[fp]["seed"] == line["seed"], fp
