@@ -50,8 +50,19 @@ from repro.bench.runner import (
 )
 from repro.bench.runstore import RunStore
 from repro.metrics.perf import PerfRecord
+from repro.obs.context import (
+    TRACE_ENV,
+    TraceContext,
+    activate_context,
+    current_context,
+    derive_span_id,
+    new_trace_id,
+)
+from repro.obs.log import get_logger
 from repro.obs.registry import get_metrics
-from repro.obs.tracer import CAT_CASE, current_tracer
+from repro.obs.tracer import CAT_CASE, Trace, current_tracer
+
+_LOG = get_logger("repro.exec")
 
 #: Failure kinds recorded in retry/quarantine logs.
 FAIL_ERROR = "error"      # the case raised inside the worker
@@ -312,19 +323,35 @@ class CaseRunner:
         cfg = self.config
         tracer = current_tracer()
         metrics = get_metrics()
+        # An active trace context (daemon request, traced sweep) links
+        # this case's spans into the distributed trace; with an enabled
+        # tracer but no context, synthesize one so worker subprocesses
+        # still correlate back to the parent trace.
+        ctx = current_context()
+        if ctx is None and tracer.enabled:
+            ctx = TraceContext(
+                trace_id=getattr(tracer, "trace_id", "") or new_trace_id()
+            )
         labels = {
             "kernel": case.kernel, "fmt": case.fmt, "platform": case.platform,
         }
         outcome = CaseOutcome(fingerprint=case.fingerprint, completed=False)
         for attempt in range(cfg.retries + 1):
             t0 = time.perf_counter()
-            with tracer.span(
-                "case", cat=CAT_CASE, fingerprint=case.fingerprint,
-                tensor=case.tensor, kernel=case.kernel, fmt=case.fmt,
-                platform=case.platform, attempt=attempt,
-                isolation=cfg.isolation,
-            ):
-                record, failure = self.attempt(case, attempt)
+            span_attrs = dict(
+                fingerprint=case.fingerprint, tensor=case.tensor,
+                kernel=case.kernel, fmt=case.fmt, platform=case.platform,
+                attempt=attempt, isolation=cfg.isolation,
+            )
+            attempt_ctx = None
+            if ctx is not None:
+                span_id = derive_span_id(
+                    ctx.trace_id, case.fingerprint, attempt
+                )
+                span_attrs["span_id"] = span_id
+                attempt_ctx = ctx.child(span_id)
+            with tracer.span("case", cat=CAT_CASE, **span_attrs):
+                record, failure = self.attempt(case, attempt, attempt_ctx)
             elapsed = time.perf_counter() - t0
             if record is not None:
                 with store_lock or _NULL_LOCK:
@@ -336,8 +363,18 @@ class CaseRunner:
                 tracer.count("exec.completed")
                 metrics.inc("exec.completed", **labels)
                 metrics.observe("exec.case_seconds", elapsed, **labels)
+                _LOG.debug(
+                    "case.completed", fingerprint=case.fingerprint,
+                    kernel=case.kernel, fmt=case.fmt, attempt=attempt,
+                    elapsed_s=round(elapsed, 6),
+                )
                 return outcome
             outcome.failures.append(failure)
+            _LOG.debug(
+                "case.failed", fingerprint=case.fingerprint,
+                kind=failure["kind"], attempt=attempt,
+                detail=failure["detail"],
+            )
             if failure["kind"] == FAIL_TIMEOUT:
                 outcome.timeouts += 1
                 tracer.count("exec.timeouts")
@@ -355,17 +392,31 @@ class CaseRunner:
             outcome.line = store.append_quarantine(case, outcome.failures)
         tracer.count("exec.quarantined")
         metrics.inc("exec.quarantined", **labels)
+        _LOG.warn(
+            "case.quarantined", fingerprint=case.fingerprint,
+            kernel=case.kernel, fmt=case.fmt,
+            attempts=len(outcome.failures),
+        )
         return outcome
 
     # ------------------------------------------------------------------ #
-    def attempt(self, case: SweepCase, attempt: int):
-        """One attempt -> ``(record, None)`` or ``(None, failure_dict)``."""
-        if self.config.isolation == "inline":
-            return self._inline_attempt(case, attempt)
-        return self._process_attempt(case, attempt)
+    def attempt(self, case: SweepCase, attempt: int, context=None):
+        """One attempt -> ``(record, None)`` or ``(None, failure_dict)``.
 
-    def _inline_attempt(self, case: SweepCase, attempt: int):
+        ``context`` (a :class:`TraceContext` or ``None``) scopes the
+        attempt into the distributed trace: inline attempts activate it
+        on this thread, process attempts inject it into the worker so
+        the worker's spans/metrics come home in the verdict.
+        """
+        if self.config.isolation == "inline":
+            return self._inline_attempt(case, attempt, context)
+        return self._process_attempt(case, attempt, context)
+
+    def _inline_attempt(self, case: SweepCase, attempt: int, context=None):
         try:
+            if context is not None:
+                with activate_context(context):
+                    return execute_case(case, attempt, self.config.faults), None
             return execute_case(case, attempt, self.config.faults), None
         except Exception as exc:  # noqa: BLE001 - converted into a failure
             return None, {
@@ -374,22 +425,22 @@ class CaseRunner:
                 "detail": f"{type(exc).__name__}: {exc}",
             }
 
-    def _process_attempt(self, case: SweepCase, attempt: int):
+    def _process_attempt(self, case: SweepCase, attempt: int, context=None):
         import repro
 
         cfg = self.config
         with tempfile.TemporaryDirectory(prefix="repro-sweep-") as tmp:
             case_path = os.path.join(tmp, "case.json")
             verdict_path = os.path.join(tmp, "verdict.json")
+            payload = {
+                "case": case.to_dict(),
+                "attempt": attempt,
+                "faults": cfg.faults,
+            }
+            if context is not None:
+                payload["trace"] = context.to_dict()
             with open(case_path, "w") as f:
-                json.dump(
-                    {
-                        "case": case.to_dict(),
-                        "attempt": attempt,
-                        "faults": cfg.faults,
-                    },
-                    f,
-                )
+                json.dump(payload, f)
             # The worker must import this very repro package regardless of
             # how the parent found it.
             pkg_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
@@ -397,6 +448,8 @@ class CaseRunner:
             env["PYTHONPATH"] = pkg_root + (
                 os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
             )
+            if context is not None:
+                env[TRACE_ENV] = context.to_env()
             proc = subprocess.Popen(
                 [sys.executable, "-m", "repro.bench.worker", case_path, verdict_path],
                 stdout=subprocess.PIPE,
@@ -424,6 +477,7 @@ class CaseRunner:
                 }
             with open(verdict_path) as f:
                 verdict = json.load(f)
+        self._absorb_verdict(verdict)
         if verdict.get("ok"):
             return PerfRecord.from_dict(verdict["record"]), None
         return None, {
@@ -431,6 +485,31 @@ class CaseRunner:
             "attempt": attempt,
             "detail": str(verdict.get("error", "worker reported failure")),
         }
+
+    def _absorb_verdict(self, verdict: dict) -> None:
+        """Fold worker-subprocess telemetry into this process.
+
+        A traced worker ships its frozen span buffer and metrics dump in
+        the verdict (see :mod:`repro.bench.worker`); adopting them here
+        is what closes the telemetry hole where subprocess ``exec.*``
+        counters and kernel spans vanished at the process boundary.
+        Malformed telemetry is logged and dropped — it must never fail
+        the case that carried it.
+        """
+        data = verdict.get("trace")
+        if data:
+            tracer = current_tracer()
+            if tracer.enabled:
+                try:
+                    tracer.adopt(Trace.from_dict(data))
+                except (AttributeError, KeyError, TypeError, ValueError) as exc:
+                    _LOG.warn("verdict.trace_malformed", error=str(exc))
+        dump = verdict.get("metrics")
+        if dump:
+            try:
+                get_metrics().absorb_dict(dump)
+            except (AttributeError, KeyError, TypeError, ValueError) as exc:
+                _LOG.warn("verdict.metrics_malformed", error=str(exc))
 
 
 class _NullLock:

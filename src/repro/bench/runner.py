@@ -52,6 +52,7 @@ from repro.gpu.kernels import (
 from repro.metrics.perf import PerfRecord, efficiency, gflops
 from repro.metrics.stats import mean_over_modes
 from repro.obs.attribution import attach_to_trace, attribute
+from repro.obs.tracer import CAT_KERNEL, current_tracer
 from repro.parallel.backend import Backend, get_backend
 from repro.roofline.model import RooflineModel
 from repro.roofline.oi import TensorFeatures, cost_for, extract_features
@@ -386,25 +387,40 @@ class SuiteRunner:
                     "platform": self.platform.name,
                 }
             ).install()
+        # The whole measurement gets one top-level kernel span (named
+        # ``run.`` to keep it distinct from real kernel-internal spans),
+        # so a trace always carries a CAT_KERNEL event — including on
+        # the modeled path, where no host kernel ever runs.  Reading the
+        # active tracer *after* the optional install means a per-case
+        # config.trace tracer (or a worker's installed request tracer)
+        # records it; disabled, this is the shared null context.
+        obs = current_tracer()
         try:
-            if self.platform.is_gpu:
-                seconds, host_seconds, extra = self._gpu_time(bundle, kernel, fmt)
-            else:
-                timing = modeled_cpu_time(
-                    self.platform, kernel, fmt, bundle.features, self.config.rank
-                )
-                seconds = timing.total_s
-                extra = {
-                    "memory_s": timing.memory_s,
-                    "fiber_s": timing.fiber_s,
-                    "atomic_s": timing.atomic_s,
-                    "cache_resident": timing.cache_resident,
-                }
-                host_seconds = (
-                    self._host_time(bundle, kernel, fmt)
-                    if self.config.measure_host
-                    else 0.0
-                )
+            with obs.span(
+                f"run.{kernel.value}",
+                cat=CAT_KERNEL,
+                tensor=bundle.name,
+                fmt=fmt.value,
+                platform=self.platform.name,
+            ):
+                if self.platform.is_gpu:
+                    seconds, host_seconds, extra = self._gpu_time(bundle, kernel, fmt)
+                else:
+                    timing = modeled_cpu_time(
+                        self.platform, kernel, fmt, bundle.features, self.config.rank
+                    )
+                    seconds = timing.total_s
+                    extra = {
+                        "memory_s": timing.memory_s,
+                        "fiber_s": timing.fiber_s,
+                        "atomic_s": timing.atomic_s,
+                        "cache_resident": timing.cache_resident,
+                    }
+                    host_seconds = (
+                        self._host_time(bundle, kernel, fmt)
+                        if self.config.measure_host
+                        else 0.0
+                    )
         finally:
             if tracer is not None:
                 tracer.uninstall()

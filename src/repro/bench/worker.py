@@ -5,13 +5,22 @@ Invoked by the sweep executor as
     python -m repro.bench.worker CASE_JSON VERDICT_JSON
 
 where ``CASE_JSON`` holds ``{"case": <SweepCase.to_dict()>, "attempt":
-n, "faults": {...}}``.  The worker writes a verdict —
-``{"ok": true, "record": ...}`` or ``{"ok": false, "error": ...}`` —
-atomically (temp file + rename) and exits 0 in both cases: a *handled*
-kernel failure is data, not a crash.  Only a hard death (injected
-``kill_attempts`` fault, OOM, segfault) leaves no verdict, which the
-parent classifies as a crash; an injected hang simply never finishes and
-is killed by the parent's per-case timeout.
+n, "faults": {...}}`` plus an optional ``"trace"`` trace-context dict.
+The worker writes a verdict — ``{"ok": true, "record": ...}`` or
+``{"ok": false, "error": ...}`` — atomically (temp file + rename) and
+exits 0 in both cases: a *handled* kernel failure is data, not a crash.
+Only a hard death (injected ``kill_attempts`` fault, OOM, segfault)
+leaves no verdict, which the parent classifies as a crash; an injected
+hang simply never finishes and is killed by the parent's per-case
+timeout.
+
+When a trace context rides in (payload ``trace`` key, or the
+``REPRO_TRACE_CONTEXT`` environment variable), the case runs under an
+installed :class:`~repro.obs.tracer.Tracer` carrying the request's
+trace_id, and the verdict additionally ships ``"trace"`` (the frozen
+span buffer, :meth:`Trace.to_dict`) and ``"metrics"`` (this process's
+registry dump) home for the parent to fold in — without a context the
+verdict is byte-identical to an untraced worker's.
 """
 
 from __future__ import annotations
@@ -25,9 +34,10 @@ import time
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if len(argv) != 2:
-        print(
-            "usage: python -m repro.bench.worker CASE_JSON VERDICT_JSON",
-            file=sys.stderr,
+        from repro.obs.log import get_logger
+
+        get_logger("repro.bench.worker").error(
+            "usage", expected="python -m repro.bench.worker CASE_JSON VERDICT_JSON"
         )
         return 2
     case_path, verdict_path = argv
@@ -36,6 +46,7 @@ def main(argv=None) -> int:
 
     from repro.bench.executor import execute_case, match_fault
     from repro.bench.runner import SweepCase
+    from repro.obs.context import TraceContext, install_context
 
     case = SweepCase.from_dict(payload["case"])
     attempt = int(payload.get("attempt", 0))
@@ -48,6 +59,26 @@ def main(argv=None) -> int:
     if attempt < int(fault.get("hang_attempts", 0)):
         # Simulated hang; the parent kills us at its per-case timeout.
         time.sleep(float(fault.get("hang_s", 3600.0)))
+
+    raw_context = payload.get("trace")
+    context = (
+        TraceContext.from_dict(raw_context)
+        if raw_context
+        else TraceContext.from_env(os.environ)
+    )
+    tracer = None
+    if context is not None:
+        from repro.obs.tracer import Tracer
+
+        tracer = Tracer(
+            trace_id=context.trace_id,
+            meta={
+                "process": f"worker {case.fingerprint}",
+                "parent_span": context.parent_span,
+                "fingerprint": case.fingerprint,
+            },
+        ).install()
+        install_context(context)
 
     t0 = time.perf_counter()
     try:
@@ -67,6 +98,15 @@ def main(argv=None) -> int:
             "record": record.to_dict(),
             "elapsed_s": time.perf_counter() - t0,
         }
+    if tracer is not None:
+        # Telemetry rides home in the verdict on both the success and
+        # the handled-failure path — a failing case's spans are exactly
+        # the ones worth seeing in the merged trace.
+        from repro.obs.registry import get_metrics
+
+        tracer.uninstall()
+        verdict["trace"] = tracer.freeze().to_dict()
+        verdict["metrics"] = get_metrics().as_dict()
     tmp = verdict_path + ".tmp"
     with open(tmp, "w") as f:
         json.dump(verdict, f)

@@ -28,9 +28,18 @@ Subcommands
                 from the run store by case fingerprint, misses executed
                 once (single-flight) on a work-stealing pool.
 ``client``    — send one request to a running ``serve`` daemon and print
-                the result payload as JSON (progress lines to stderr).
+                the result payload as JSON (progress lines to stderr);
+                ``--trace`` propagates a client-minted trace context so
+                the daemon's merged Chrome trace carries one trace_id
+                end to end.
+``health``    — scrape a running daemon's live health telemetry (uptime,
+                cache hit rate, pool state, request latency quantiles).
 ``metrics``   — dump the metrics registry (Prometheus text or JSON),
                 optionally reconstructed from a run store.
+
+Diagnostics throughout go through :mod:`repro.obs.log` (``REPRO_LOG=json|
+text|off``) on stderr, so machine-readable stdout (``client``, ``regress
+--json``, ``ingest-bench --json``) stays clean under any log mode.
 ``ingest-bench`` — live FireHose ingestion benchmark: a seeded generator
                 races concurrent window ingestion and periodic kernel
                 queries; reports throughput, p50/p95/p99 latency, and
@@ -43,6 +52,10 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+
+from repro.obs.log import get_logger
+
+_LOG = get_logger("repro.cli")
 
 
 def _cmd_info(args) -> int:
@@ -232,7 +245,36 @@ def _cmd_sweep(args) -> int:
         f"sweep: {len(cases)} case(s) enumerated, "
         f"shard {args.shard_index + 1}/{args.shards} covers {len(shard)}"
     )
-    report = executor.run()
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+        from repro.obs.context import (
+            TraceContext,
+            install_context,
+            new_trace_id,
+        )
+
+        context = TraceContext(trace_id=new_trace_id())
+        tracer = Tracer(
+            trace_id=context.trace_id,
+            meta={"process": "sweep", "shard": args.shard_index},
+        ).install()
+        prev_context = install_context(context)
+    try:
+        report = executor.run()
+    finally:
+        if tracer is not None:
+            from repro.obs import merge_traces, save_chrome
+
+            tracer.uninstall()
+            install_context(prev_context)
+            trace = tracer.freeze()
+            os.makedirs(os.path.dirname(args.trace) or ".", exist_ok=True)
+            save_chrome(merge_traces(trace), args.trace)
+            print(
+                f"merged Chrome trace ({1 + len(trace.children)} process(es), "
+                f"trace {context.trace_id}) -> {args.trace}"
+            )
     print(report.render())
     print(f"run store -> {store.path}")
     if args.metrics:
@@ -250,7 +292,7 @@ def _cmd_report(args) -> int:
 
     report = report_from_store(args.store)
     if report.nrecords == 0:
-        print(f"no records in {args.store}", file=sys.stderr)
+        _LOG.error("report.empty_store", store=args.store)
         return 1
     print(report.render(args.format))
     return 0
@@ -272,7 +314,7 @@ def _cmd_regress(args) -> int:
             seed=args.seed,
         )
     except RegressError as exc:
-        print(f"regress: {exc}", file=sys.stderr)
+        _LOG.error("regress.failed", error=str(exc))
         return 2
     if args.json:
         print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
@@ -304,6 +346,7 @@ def _cmd_serve(args) -> int:
             retries=args.retries,
             faults=faults,
             metrics_port=args.metrics_port,
+            trace_dir=args.trace_dir,
         )
     )
 
@@ -314,6 +357,8 @@ def _cmd_serve(args) -> int:
             f"record(s), {quarantined} quarantined; {args.workers} worker(s))",
             flush=True,
         )
+        if args.trace_dir:
+            print(f"request traces -> {args.trace_dir}", flush=True)
         if service.metrics_port_bound is not None:
             print(
                 f"metrics (Prometheus) on http://127.0.0.1:"
@@ -335,23 +380,85 @@ def _cmd_client(args) -> int:
     if args.wait:
         wait_for_socket(args.socket, timeout_s=args.wait)
 
+    trace = None
+    if args.trace or args.trace_id:
+        from repro.obs.context import TraceContext, new_trace_id
+
+        trace = TraceContext(
+            trace_id=args.trace_id or new_trace_id()
+        ).to_dict()
+        _LOG.info("client.trace", trace_id=trace["trace_id"], op=args.op)
+
     def on_progress(payload):
-        print(
-            f"progress: {payload['done']}/{payload['total']} done "
-            f"({payload['hits']} cache hit(s), {payload['pending']} pending)",
-            file=sys.stderr,
+        _LOG.info(
+            "client.progress", op=args.op, done=payload["done"],
+            total=payload["total"], hits=payload["hits"],
+            pending=payload["pending"],
         )
 
     try:
         with ServeClient(args.socket, timeout_s=args.timeout) as client:
-            payload = client.request(args.op, params, on_progress=on_progress)
+            payload = client.request(
+                args.op, params, on_progress=on_progress, trace=trace
+            )
     except ServeError as exc:
-        print(f"client: {exc}", file=sys.stderr)
+        _LOG.error("client.failed", op=args.op, error=str(exc))
         return 2
     print(json.dumps(payload, indent=2, sort_keys=True))
     # A regress verdict propagates like ``repro regress`` would exit.
     if args.op == "regress":
         return int(payload.get("exit_code", 0))
+    return 0
+
+
+def _cmd_health(args) -> int:
+    import json
+
+    from repro.serve import ServeError, wait_for_socket
+    from repro.serve.client import ServeClient
+
+    if args.wait:
+        wait_for_socket(args.socket, timeout_s=args.wait)
+    try:
+        with ServeClient(args.socket, timeout_s=args.timeout) as client:
+            health = client.request("health")
+    except ServeError as exc:
+        _LOG.error("health.failed", error=str(exc))
+        return 2
+    if args.json:
+        print(json.dumps(health, indent=2, sort_keys=True))
+        return 0
+
+    def pct(v):
+        return f"{v * 100.0:.1f}%" if v is not None else "n/a"
+
+    def ms(v):
+        return f"{v * 1e3:.2f}ms" if v is not None else "n/a"
+
+    lat = health["request_seconds"]
+    print(f"daemon on {args.socket} (protocol v{health['protocol']})")
+    print(
+        f"  uptime   {health['uptime_s']:.1f}s | store {health['store']}: "
+        f"{health['records']} record(s), {health['quarantined']} quarantined"
+    )
+    print(
+        f"  cache    {health['cache_hits']} hit(s) / "
+        f"{health['cache_misses']} miss(es) "
+        f"(hit rate {pct(health['cache_hit_rate'])})"
+    )
+    print(
+        f"  pool     {health['workers']} worker(s), "
+        f"{health['inflight']} in flight, {health['queued']} queued, "
+        f"{health['steals']} steal(s)"
+    )
+    print(
+        f"  requests {health['requests']} served, {health['errors']} error(s)"
+    )
+    print(
+        f"  latency  n={lat['count']} p50 {ms(lat['p50'])} "
+        f"p95 {ms(lat['p95'])} p99 {ms(lat['p99'])} "
+        f"(total {lat['sum']:.3f}s)"
+    )
     return 0
 
 
@@ -443,6 +550,7 @@ def _cmd_trace(args) -> int:
         Tracer,
         analyze,
         flame_summary,
+        merge_traces,
         save_chrome,
         write_jsonl,
     )
@@ -577,7 +685,7 @@ def _cmd_trace(args) -> int:
         print()
         print(flame_summary(trace))
     os.makedirs(os.path.dirname(args.output) or ".", exist_ok=True)
-    save_chrome(trace, args.output)
+    save_chrome(merge_traces(trace), args.output)
     print(f"\nsaved Chrome trace ({len(trace.events)} events) -> {args.output}")
     print("  (open in Perfetto / chrome://tracing)")
     if args.jsonl:
@@ -633,43 +741,50 @@ def _cmd_ingest_bench(args) -> int:
                 query_backend=query_backend,
             )
     except IngestError as exc:
-        print(f"ingest-bench failed: {exc}", file=sys.stderr)
+        _LOG.error("ingest_bench.failed", error=str(exc))
         if args.store:
-            print(
-                f"failure quarantined in {args.store}; re-run with --resume "
-                "to retry and clear it",
-                file=sys.stderr,
+            _LOG.warn(
+                "ingest_bench.quarantined", store=args.store,
+                hint="re-run with --resume to retry and clear it",
             )
         return 1
     finally:
         if args.trace:
             os.makedirs(os.path.dirname(args.trace) or ".", exist_ok=True)
             save_chrome(tracer.freeze(), args.trace)
-            print(f"saved Chrome trace -> {args.trace}", file=sys.stderr)
+            _LOG.info("ingest_bench.trace_saved", path=args.trace)
         if args.metrics:
             os.makedirs(os.path.dirname(args.metrics) or ".", exist_ok=True)
             with open(args.metrics, "w") as f:
                 f.write(get_metrics().render_prometheus())
-            print(f"saved metrics -> {args.metrics}", file=sys.stderr)
+            _LOG.info("ingest_bench.metrics_saved", path=args.metrics)
     # In --json mode stdout carries only the JSON document; everything
-    # else (verify verdicts, journaling notes) goes to stderr.
-    chatter = sys.stderr if args.json else sys.stdout
+    # else (verify verdicts, journaling notes) becomes structured log
+    # records on stderr so stdout stays machine-readable.
     if args.verify:
         ok, detail = verify_window_state(result)
         if not ok:
-            print(f"VERIFY FAILED: window state diverged: {detail}", file=chatter)
+            if args.json:
+                _LOG.error("ingest_bench.verify_failed", detail=detail)
+            else:
+                print(f"VERIFY FAILED: window state diverged: {detail}")
             rc = 1
+        elif args.json:
+            _LOG.info("ingest_bench.verified", detail=detail)
         else:
-            print(
-                f"verify: window state matches serial replay — {detail}",
-                file=chatter,
-            )
+            print(f"verify: window state matches serial replay — {detail}")
     if args.json:
         print(_json.dumps(result.as_dict(), indent=2, sort_keys=True))
     else:
         print(result.render())
     if args.store:
-        print(f"journaled {len(result.records)} records -> {args.store}", file=chatter)
+        if args.json:
+            _LOG.info(
+                "ingest_bench.journaled",
+                records=len(result.records), store=args.store,
+            )
+        else:
+            print(f"journaled {len(result.records)} records -> {args.store}")
     return rc
 
 
@@ -961,6 +1076,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="after the run, write the metrics registry (Prometheus text) "
         "to PATH",
     )
+    p_sweep.add_argument(
+        "--trace", metavar="PATH",
+        help="run the sweep under a minted trace context and write one "
+        "merged Chrome trace (parent + adopted worker-subprocess spans) "
+        "to PATH",
+    )
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_report = sub.add_parser(
@@ -1042,6 +1163,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="expose Prometheus metrics over HTTP on this TCP port "
         "(0 = ephemeral)",
     )
+    p_serve.add_argument(
+        "--trace-dir", metavar="DIR",
+        help="trace every request and write one merged Chrome trace "
+        "(daemon + scheduler + worker-subprocess spans) per request "
+        "into DIR",
+    )
     p_serve.set_defaults(func=_cmd_serve)
 
     p_client = sub.add_parser(
@@ -1053,7 +1180,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--socket", required=True, help="Unix socket of the daemon"
     )
     p_client.add_argument(
-        "op", choices=["sweep", "report", "regress", "status"],
+        "op", choices=["sweep", "report", "regress", "status", "health"],
+    )
+    p_client.add_argument(
+        "--trace", action="store_true",
+        help="mint a trace context and send it with the request, so a "
+        "daemon running --trace-dir folds this request into one "
+        "client-correlated merged trace",
+    )
+    p_client.add_argument(
+        "--trace-id", metavar="ID",
+        help="propagate this exact trace id instead of minting one "
+        "(implies --trace)",
     )
     p_client.add_argument(
         "--params", metavar="JSON",
@@ -1068,6 +1206,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="wait up to this long for the daemon socket to accept",
     )
     p_client.set_defaults(func=_cmd_client)
+
+    p_health = sub.add_parser(
+        "health",
+        help="scrape live health telemetry from a running serve daemon: "
+        "uptime, cache hit rate, pool state, request latency p50/p95/p99",
+    )
+    p_health.add_argument(
+        "--socket", required=True, help="Unix socket of the daemon"
+    )
+    p_health.add_argument(
+        "--timeout", type=float, default=None,
+        help="socket timeout in seconds (default: block indefinitely)",
+    )
+    p_health.add_argument(
+        "--wait", type=float, default=None, metavar="SECONDS",
+        help="wait up to this long for the daemon socket to accept",
+    )
+    p_health.add_argument(
+        "--json", action="store_true", help="print the raw payload as JSON"
+    )
+    p_health.set_defaults(func=_cmd_health)
 
     p_metrics = sub.add_parser(
         "metrics",

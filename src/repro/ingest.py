@@ -52,6 +52,7 @@ from repro.kernels.ttv import coo_ttv, hicoo_ttv
 from repro.metrics.perf import PerfRecord, efficiency, gflops
 from repro.metrics.stats import percentiles
 from repro.obs.attribution import attribute
+from repro.obs.log import get_logger
 from repro.obs.registry import get_metrics
 from repro.obs.tracer import CAT_KERNEL, CAT_REGION, current_tracer
 from repro.parallel.chaos import ChaosError
@@ -69,6 +70,8 @@ from repro.util.prng import rng_from_seed
 QUERY_CELLS = (("ttv", "coo"), ("ttv", "hicoo"), ("mttkrp", "coo"), ("mttkrp", "hicoo"))
 
 _SENTINEL = object()
+
+_LOG = get_logger("repro.ingest")
 
 
 class IngestError(RuntimeError):
@@ -557,10 +560,17 @@ class IngestBench:
         depth-1 queue against a stalled generator).
         """
         with self._apply_cond:
-            if self._failure is None:
+            first = self._failure is None
+            if first:
                 self._failure = exc
             self._stop.set()
             self._apply_cond.notify_all()
+        if first:
+            _LOG.error(
+                "ingest.failed",
+                error=f"{type(exc).__name__}: {exc}",
+                fingerprint=self.config.fingerprint,
+            )
 
     def _put(self, item) -> bool:
         """Timed put that respects the stop event; False when stopped."""
@@ -635,6 +645,10 @@ class IngestBench:
             except ChaosError:
                 self._query_failures += 1
                 metrics.inc("ingest.query_failures", kernel=kernel, fmt=fmt)
+                _LOG.debug(
+                    "ingest.query_failed", kernel=kernel, fmt=fmt,
+                    version=version,
+                )
                 continue
             dt = time.perf_counter() - t0
             collector.setdefault(cell, []).append(dt)
@@ -677,6 +691,10 @@ class IngestBench:
 
         tracer = current_tracer()
         collector: dict = {}
+        _LOG.info(
+            "ingest.started", fingerprint=cfg.fingerprint, events=cfg.events,
+            workers=cfg.workers, window=cfg.window, queue_depth=cfg.queue_depth,
+        )
         t_start = time.perf_counter()
         with tracer.span(
             "ingest.run", cat=CAT_REGION, events=cfg.events,
@@ -749,6 +767,13 @@ class IngestBench:
             state=self._window.state,
         )
         result.records = self._build_records(result, collector)
+        _LOG.info(
+            "ingest.completed", fingerprint=cfg.fingerprint,
+            events=result.events, batches=result.batches,
+            events_per_s=round(result.events_per_s, 1),
+            backpressure_stalls=result.backpressure_stalls,
+            queries=result.queries, query_failures=result.query_failures,
+        )
         return result
 
     def _build_records(self, result: IngestResult, collector: dict) -> list:
@@ -859,6 +884,9 @@ def run_ingest_bench(
         state = store.load()
         line = state.records.get(marker.fingerprint)
         if line is not None:
+            _LOG.info(
+                "ingest.resumed_from_store", fingerprint=config.fingerprint,
+            )
             prefix = f"{config.fingerprint}:"
             records = [
                 PerfRecord.from_dict(state.records[fp]["record"])
@@ -891,6 +919,10 @@ def run_ingest_bench(
         result = bench.run()
     except Exception as exc:
         if store is not None:
+            _LOG.warn(
+                "ingest.quarantined", fingerprint=config.fingerprint,
+                error=f"{type(exc).__name__}: {exc}",
+            )
             store.append_quarantine(
                 marker,
                 [{

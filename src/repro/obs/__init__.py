@@ -23,13 +23,26 @@ from repro.obs.attribution import (
     classify_boundedness,
     effective_bandwidth_gbs,
 )
+from repro.obs.context import (
+    TRACE_ENV,
+    ContextError,
+    TraceContext,
+    activate_context,
+    current_context,
+    derive_span_id,
+    install_context,
+    new_trace_id,
+)
 from repro.obs.export import (
     chrome_trace,
     flame_summary,
     load_chrome,
+    merge_traces,
     save_chrome,
     write_jsonl,
 )
+from repro.obs.log import configure as configure_logging
+from repro.obs.log import get_logger
 from repro.obs.registry import (
     MetricsError,
     MetricsRegistry,
@@ -42,12 +55,15 @@ from repro.obs.tracer import (
     CAT_GPU,
     CAT_KERNEL,
     CAT_REGION,
+    CAT_REQUEST,
+    CAT_SCHED,
     NULL_TRACER,
     NullTracer,
     SpanEvent,
     Trace,
     Tracer,
     current_tracer,
+    scoped_tracer,
 )
 
 __all__ = [
@@ -55,6 +71,7 @@ __all__ = [
     "NullTracer",
     "NULL_TRACER",
     "current_tracer",
+    "scoped_tracer",
     "Trace",
     "SpanEvent",
     "CAT_REGION",
@@ -62,6 +79,18 @@ __all__ = [
     "CAT_CHUNK",
     "CAT_KERNEL",
     "CAT_GPU",
+    "CAT_REQUEST",
+    "CAT_SCHED",
+    "TraceContext",
+    "ContextError",
+    "TRACE_ENV",
+    "new_trace_id",
+    "derive_span_id",
+    "current_context",
+    "activate_context",
+    "install_context",
+    "get_logger",
+    "configure_logging",
     "TraceStats",
     "WorkerStats",
     "analyze",
@@ -80,6 +109,7 @@ __all__ = [
     "get_metrics",
     "set_metrics",
     "chrome_trace",
+    "merge_traces",
     "save_chrome",
     "load_chrome",
     "write_jsonl",

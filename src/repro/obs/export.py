@@ -72,10 +72,177 @@ def chrome_trace(trace: Trace) -> dict:
     }
 
 
-def save_chrome(trace: Trace, path: str) -> None:
-    """Write the Chrome trace-event JSON to ``path``."""
+def _flatten(trace: Trace) -> list:
+    """``trace`` followed by its adopted descendants, depth-first."""
+    out = [trace]
+    for child in trace.children:
+        out.extend(_flatten(child))
+    return out
+
+
+def _abs_start(trace: Trace) -> float:
+    """Earliest event start on the shared wall clock (epoch-rebased)."""
+    return min(
+        (e.t0 for e in trace.events), default=0.0
+    ) + trace.epoch_offset_s
+
+
+def merge_traces(
+    root: Trace, children=None, trace_id: str = ""
+) -> dict:
+    """Merge a parent trace and its child-process traces into one
+    Chrome trace-event dict.
+
+    Each trace becomes its own Chrome *process*: pid 0 is ``root``, its
+    adopted children (``root.children``, or the explicit ``children``
+    list) get pids 1..N in a canonical order, each with ``process_name``
+    and per-worker ``thread_name`` metadata.  Timestamps are rebased to
+    one shared timeline via each trace's :attr:`Trace.epoch_offset_s`
+    wall-clock anchor, so a worker subprocess's kernel spans line up
+    under the daemon's request span that spawned them.
+
+    When a child's ``meta["parent_span"]`` names a span id that some
+    parent event carries in ``args`` (the executor stamps ``span_id`` on
+    ``case`` spans), a Chrome flow arrow (``ph: "s"`` → ``ph: "f"``)
+    links the parent span to the child's first event.
+
+    The output is deterministic: the same inputs produce byte-identical
+    JSON, making merged traces diffable and goldenable.
+    """
+    if children is not None:
+        kids = [t for child in children for t in _flatten(child)]
+    else:
+        kids = _flatten(root)[1:]
+    # Canonical child order: adoption order is completion order (racy
+    # across runs), so sort by stable trace content instead.
+    kids.sort(
+        key=lambda t: (
+            str(t.meta.get("process", "")),
+            str(t.meta.get("parent_span", "")),
+            _abs_start(t),
+        )
+    )
+    procs = [(0, root)] + [(i + 1, t) for i, t in enumerate(kids)]
+
+    starts = [_abs_start(t) for _, t in procs if t.events]
+    t_zero = min(starts) if starts else 0.0
+
+    def ts(raw: float, trace: Trace) -> float:
+        return round((raw + trace.epoch_offset_s - t_zero) * 1e6, 3)
+
+    meta_events: list[dict] = []
+    events: list[dict] = []
+    span_index: dict[str, tuple] = {}
+    for pid, trace in procs:
+        label = str(
+            trace.meta.get("process") or ("main" if pid == 0 else f"proc-{pid}")
+        )
+        meta_events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": label},
+        })
+        tid_of: dict[str, int] = {}
+        for e in trace.events:
+            tid_of.setdefault(e.worker, e.tid)
+            record = {
+                "name": e.name,
+                "cat": e.cat,
+                "ph": "i" if e.instant else "X",
+                "ts": ts(e.t0, trace),
+                "pid": pid,
+                "tid": e.tid,
+                "args": {"slot": e.slot, **e.attrs},
+            }
+            if e.instant:
+                record["s"] = "t"
+            else:
+                record["dur"] = round((e.t1 - e.t0) * 1e6, 3)
+            events.append(record)
+            span_id = e.attrs.get("span_id")
+            if span_id and span_id not in span_index:
+                span_index[str(span_id)] = (pid, e.tid, record["ts"])
+        end_ts = ts(
+            max((e.t1 for e in trace.events), default=0.0), trace
+        ) if trace.events else 0.0
+        for name, per_worker in sorted(trace.counters.items()):
+            for worker, value in sorted(per_worker.items()):
+                events.append({
+                    "name": name,
+                    "ph": "C",
+                    "ts": end_ts,
+                    "pid": pid,
+                    "tid": tid_of.get(worker, 0),
+                    "args": {"value": value},
+                })
+        meta_events.extend(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": worker},
+            }
+            for worker, tid in sorted(tid_of.items(), key=lambda kv: kv[1])
+        )
+    # Flow arrows: child process -> the parent span that spawned it.
+    for pid, trace in procs[1:]:
+        parent_span = str(trace.meta.get("parent_span", ""))
+        origin = span_index.get(parent_span)
+        if not parent_span or origin is None or not trace.events:
+            continue
+        ppid, ptid, pts = origin
+        if ppid == pid:
+            continue
+        first = trace.events[0]
+        events.append({
+            "name": "spawn",
+            "cat": "flow",
+            "ph": "s",
+            "id": parent_span,
+            "ts": pts,
+            "pid": ppid,
+            "tid": ptid,
+        })
+        events.append({
+            "name": "spawn",
+            "cat": "flow",
+            "ph": "f",
+            "bp": "e",
+            "id": parent_span,
+            "ts": ts(first.t0, trace),
+            "pid": pid,
+            "tid": first.tid,
+        })
+    meta_events.sort(key=lambda m: (m["pid"], m["tid"], m["name"]))
+    events.sort(
+        key=lambda e: (e["ts"], e["pid"], e["tid"], e["ph"], e["name"])
+    )
+    return {
+        "traceEvents": meta_events + events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "exporter": "repro.obs",
+            "version": CHROME_TRACE_VERSION,
+            "processes": len(procs),
+            "trace_id": str(trace_id or root.meta.get("trace_id", "")),
+            **root.meta,
+        },
+    }
+
+
+def save_chrome(trace: "Trace | dict", path: str) -> None:
+    """Write Chrome trace-event JSON to ``path``.
+
+    Accepts either a :class:`Trace` (exported single-process via
+    :func:`chrome_trace`) or an already-built trace-event dict (e.g.
+    from :func:`merge_traces`).
+    """
+    doc = trace if isinstance(trace, dict) else chrome_trace(trace)
     with open(path, "w") as f:
-        json.dump(chrome_trace(trace), f, indent=1)
+        json.dump(doc, f, indent=1)
         f.write("\n")
 
 

@@ -1,0 +1,184 @@
+"""Structured, trace-correlated logging for the whole stack.
+
+One logging discipline replaces the ad-hoc ``print(..., file=sys.stderr)``
+diagnostics that used to be scattered through the CLI, ingest, executor
+and daemon: every record is an *event* plus key/value fields, emitted as
+one line on **stderr** so that machine-readable stdout (``--json``
+modes, the serve protocol) stays byte-clean.
+
+Configuration is environment-driven so it works identically in the CLI,
+the daemon and worker subprocesses:
+
+* ``REPRO_LOG`` — ``json`` (sorted-key JSON lines), ``text`` (human
+  one-liners, the default), or ``off``;
+* ``REPRO_LOG_LEVEL`` — ``debug`` | ``info`` | ``warn`` | ``error``
+  (default ``info``).
+
+Records are automatically correlated: when a trace context is active
+(:func:`repro.obs.context.current_context`) the ``trace_id`` and parent
+span ride along, and inside a worker-pool slot the slot index is
+attached — so ``REPRO_LOG=json`` output can be joined against merged
+Chrome traces by trace_id.
+
+The disabled path is one cached-config check plus an integer compare;
+``REPRO_LOG=off`` keeps hot loops at parity with no logging at all.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+
+MODE_ENV = "REPRO_LOG"
+LEVEL_ENV = "REPRO_LOG_LEVEL"
+
+MODES = ("json", "text", "off")
+LEVELS = {"debug": 10, "info": 20, "warn": 30, "error": 40}
+
+_DEFAULT_MODE = "text"
+_DEFAULT_LEVEL = "info"
+
+
+class _Config:
+    __slots__ = ("mode", "level", "stream")
+
+    def __init__(self, mode, level, stream):
+        self.mode = mode
+        self.level = level
+        self.stream = stream
+
+
+_lock = threading.Lock()
+_config: "_Config | None" = None
+_loggers: dict = {}
+
+
+def _resolve() -> _Config:
+    global _config
+    cfg = _config
+    if cfg is None:
+        mode = os.environ.get(MODE_ENV, _DEFAULT_MODE).strip().lower()
+        if mode not in MODES:
+            mode = _DEFAULT_MODE
+        level = os.environ.get(LEVEL_ENV, _DEFAULT_LEVEL).strip().lower()
+        if level not in LEVELS:
+            level = _DEFAULT_LEVEL
+        with _lock:
+            if _config is None:
+                _config = _Config(mode, LEVELS[level], None)
+            cfg = _config
+    return cfg
+
+
+def configure(mode=None, level=None, stream=None) -> None:
+    """Override the environment-resolved config (tests, embedders).
+
+    ``stream=None`` keeps the default (``sys.stderr`` looked up at emit
+    time, so pytest capture and redirection keep working).
+    """
+    base = _resolve()
+    with _lock:
+        global _config
+        _config = _Config(
+            mode if mode is not None else base.mode,
+            LEVELS[level] if level is not None else base.level,
+            stream if stream is not None else base.stream,
+        )
+
+
+def reset() -> None:
+    """Drop any cached/overridden config; re-read the environment lazily."""
+    global _config
+    with _lock:
+        _config = None
+
+
+def _correlation() -> dict:
+    """trace_id/span/slot fields for the current thread, best-effort."""
+    fields = {}
+    try:
+        from repro.obs.context import current_context
+
+        ctx = current_context()
+        if ctx is not None:
+            fields["trace_id"] = ctx.trace_id
+            if ctx.parent_span:
+                fields["span"] = ctx.parent_span
+    except Exception:
+        pass
+    try:
+        from repro.parallel.slots import current_slot
+
+        slot = current_slot()
+        if slot is not None:
+            fields["slot"] = slot
+    except Exception:
+        pass
+    return fields
+
+
+class Logger:
+    """A named structured logger; cheap enough to create eagerly."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def enabled_for(self, level: str) -> bool:
+        cfg = _resolve()
+        return cfg.mode != "off" and LEVELS.get(level, 100) >= cfg.level
+
+    def debug(self, event: str, **fields) -> None:
+        self._emit("debug", event, fields)
+
+    def info(self, event: str, **fields) -> None:
+        self._emit("info", event, fields)
+
+    def warn(self, event: str, **fields) -> None:
+        self._emit("warn", event, fields)
+
+    def error(self, event: str, **fields) -> None:
+        self._emit("error", event, fields)
+
+    def _emit(self, level: str, event: str, fields: dict) -> None:
+        cfg = _resolve()
+        if cfg.mode == "off" or LEVELS[level] < cfg.level:
+            return
+        record = dict(fields)
+        record.update(_correlation())
+        # Reserved keys win over caller fields of the same name.
+        record["ts"] = round(time.time(), 6)
+        record["level"] = level
+        record["logger"] = self.name
+        record["event"] = event
+        stream = cfg.stream if cfg.stream is not None else sys.stderr
+        try:
+            if cfg.mode == "json":
+                line = json.dumps(record, sort_keys=True, default=str)
+            else:
+                extras = " ".join(
+                    f"{k}={record[k]}"
+                    for k in sorted(record)
+                    if k not in ("ts", "level", "logger", "event")
+                )
+                stamp = time.strftime("%H:%M:%S", time.localtime(record["ts"]))
+                line = f"[{stamp}] {level:<5} {self.name}: {event}"
+                if extras:
+                    line = f"{line} {extras}"
+            stream.write(line + "\n")
+            stream.flush()
+        except (OSError, ValueError):
+            pass  # a dead stderr (closed pipe) must never crash the run
+
+
+def get_logger(name: str) -> Logger:
+    """The cached :class:`Logger` for ``name`` (dotted, like stdlib)."""
+    logger = _loggers.get(name)
+    if logger is None:
+        with _lock:
+            logger = _loggers.setdefault(name, Logger(name))
+    return logger

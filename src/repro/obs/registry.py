@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import math
 import threading
+from collections import deque
 
 # Lazy proxy, mirroring repro.obs.tracer: repro.parallel instruments
 # itself against repro.obs, so importing slots at module level would
@@ -65,6 +66,11 @@ COUNTER = "counter"
 GAUGE = "gauge"
 HISTOGRAM = "histogram"
 
+#: Sliding window of raw observations kept per histogram label set, so
+#: quantiles (p50/p95/p99) reflect *recent* latency rather than bucket
+#: interpolation over the whole process lifetime.
+RECENT_WINDOW = 1024
+
 
 class MetricsError(ValueError):
     """A metric used inconsistently (kind clash, bad buckets)."""
@@ -73,7 +79,7 @@ class MetricsError(ValueError):
 class _Metric:
     """One named metric: kind, per-label-set per-cell values."""
 
-    __slots__ = ("name", "kind", "buckets", "series")
+    __slots__ = ("name", "kind", "buckets", "series", "recent")
 
     def __init__(self, name: str, kind: str, buckets=None):
         self.name = name
@@ -82,6 +88,10 @@ class _Metric:
         #: label_key -> cell_key -> value (counter/gauge) or
         #: ``[bucket_counts..., count, total]`` list (histogram).
         self.series: dict[tuple, dict] = {}
+        #: label_key -> bounded deque of raw observations (histograms
+        #: only) feeding quantile summaries.  deque.append is atomic
+        #: under the GIL, so the hot path stays lock-free.
+        self.recent: dict[tuple, deque] = {}
 
 
 class MetricsRegistry:
@@ -153,6 +163,14 @@ class MetricsRegistry:
                 break
         cell[-2] += 1
         cell[-1] += value
+        lk = _label_key(labels)
+        recent = metric.recent.get(lk)
+        if recent is None:
+            with self._lock:
+                recent = metric.recent.setdefault(
+                    lk, deque(maxlen=RECENT_WINDOW)
+                )
+        recent.append(value)
 
     # -- trace ingestion ----------------------------------------------- #
     def absorb_trace(self, trace, **labels) -> None:
@@ -169,6 +187,54 @@ class MetricsRegistry:
             self.inc(name, trace.counter_total(name), **labels)
         for name, value in sorted(rollup_gauges(trace).items()):
             self.set_gauge(name, value, **labels)
+
+    def absorb_dict(self, dump: dict, **labels) -> None:
+        """Fold another registry's :meth:`as_dict` export into this one.
+
+        This is how worker-subprocess metrics come home: the worker
+        dumps its registry into the case verdict and the executor
+        absorbs it here, so ``exec.*`` counters and kernel histograms
+        survive process isolation.  Counters add, gauges overwrite,
+        histogram bucket/count/sum totals merge (mismatched bucket
+        bounds degrade to count/sum only).  Raw observation windows are
+        not carried across, so absorbed-only histograms report ``None``
+        quantiles.  ``labels`` tag every absorbed series.
+        """
+        for name, series in (dump.get("counters") or {}).items():
+            for s in series:
+                merged = {**(s.get("labels") or {}), **labels}
+                self.inc(name, float(s.get("value", 0.0)), **merged)
+        for name, series in (dump.get("gauges") or {}).items():
+            for s in series:
+                merged = {**(s.get("labels") or {}), **labels}
+                self.set_gauge(name, float(s.get("value", 0.0)), **merged)
+        for name, series in (dump.get("histograms") or {}).items():
+            for s in series:
+                self._absorb_histogram(name, s, labels)
+
+    def _absorb_histogram(self, name: str, snap: dict, extra_labels: dict) -> None:
+        buckets = snap.get("buckets") or {}
+        bounds = sorted(
+            float(le) for le in buckets if le != "+Inf"
+        )
+        metric = self._metric(name, HISTOGRAM, bounds or None)
+        merged = {**(snap.get("labels") or {}), **extra_labels}
+        cells = self._cells(metric, merged)
+        key = _cell_key()
+        cell = cells.get(key)
+        if cell is None:
+            cell = cells[key] = [0] * len(metric.buckets) + [0, 0.0]
+        # De-cumulate the exported bucket counts back into per-bucket
+        # increments; bounds absent from the dump contribute nothing.
+        previous = 0
+        for i, bound in enumerate(metric.buckets):
+            cumulative = buckets.get(_le(bound))
+            if cumulative is None:
+                continue
+            cell[i] += int(cumulative) - previous
+            previous = int(cumulative)
+        cell[-2] += int(snap.get("count", 0))
+        cell[-1] += float(snap.get("sum", 0.0))
 
     # -- reads --------------------------------------------------------- #
     def _aggregate(self, metric: _Metric) -> dict:
@@ -234,6 +300,33 @@ class MetricsRegistry:
         buckets["+Inf"] = agg[-2]
         return {"count": int(agg[-2]), "sum": float(agg[-1]), "buckets": buckets}
 
+    def histogram_quantiles(self, name: str, qs=None, **labels) -> "dict | None":
+        """Empirical quantiles over the recent-observation window.
+
+        Returns ``{"p50": ..., "p95": ..., "p99": ...}`` (or the
+        requested ``qs``) from the raw observations retained for the
+        histogram, or ``None`` when there is no data — the same
+        no-fake-zeros convention as :func:`repro.metrics.stats`.  With no
+        ``labels`` the windows of every label set are pooled; with
+        labels only that exact series is summarized.
+        """
+        from repro.metrics.stats import percentiles
+
+        metric = self._metrics.get(name)
+        if metric is None or metric.kind != HISTOGRAM:
+            return None
+        with self._lock:
+            if labels:
+                windows = [tuple(metric.recent.get(_label_key(labels), ()))]
+            else:
+                windows = [
+                    tuple(metric.recent[lk]) for lk in sorted(metric.recent)
+                ]
+        values = [v for window in windows for v in window]
+        if qs is None:
+            return percentiles(values)
+        return percentiles(values, qs)
+
     # -- exporters ----------------------------------------------------- #
     def as_dict(self) -> dict:
         """Deterministic JSON form: kind -> name -> list of label series."""
@@ -248,7 +341,10 @@ class MetricsRegistry:
                 labels = dict(lk)
                 if metric.kind == HISTOGRAM:
                     snap = self.histogram_snapshot(name, **labels)
-                    series.append({"labels": labels, **snap})
+                    quantiles = self.histogram_quantiles(name, **labels)
+                    series.append(
+                        {"labels": labels, **snap, "quantiles": quantiles}
+                    )
                 else:
                     series.append({"labels": labels, "value": agg[lk]})
             key = {COUNTER: "counters", GAUGE: "gauges", HISTOGRAM: "histograms"}
@@ -265,6 +361,7 @@ class MetricsRegistry:
             pname = _prom_name(name)
             lines.append(f"# TYPE {pname} {metric.kind}")
             agg = self._aggregate(metric)
+            qlines = []
             for lk in sorted(agg):
                 labels = dict(lk)
                 if metric.kind == HISTOGRAM:
@@ -279,10 +376,27 @@ class MetricsRegistry:
                     lines.append(
                         f"{pname}_count{_prom_labels(labels)} {snap['count']}"
                     )
+                    quantiles = self.histogram_quantiles(name, **labels)
+                    for qkey in sorted(
+                        quantiles or (), key=lambda k: float(k[1:])
+                    ):
+                        qlabels = {
+                            **labels,
+                            "quantile": f"{float(qkey[1:]) / 100.0:g}",
+                        }
+                        qlines.append(
+                            f"{pname}_quantile{_prom_labels(qlabels)} "
+                            f"{_prom_value(quantiles[qkey])}"
+                        )
                 else:
                     lines.append(
                         f"{pname}{_prom_labels(labels)} {_prom_value(agg[lk])}"
                     )
+            if qlines:
+                # Quantiles are derived gauges, exported as a sibling
+                # metric so the histogram series itself stays canonical.
+                lines.append(f"# TYPE {pname}_quantile gauge")
+                lines.extend(qlines)
         return "\n".join(lines) + ("\n" if lines else "")
 
     def clear(self) -> None:

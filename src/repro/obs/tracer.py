@@ -55,6 +55,8 @@ CAT_CHUNK = "chunk"     # one chunk executed by one worker slot
 CAT_KERNEL = "kernel"   # one kernel invocation (mttkrp, ttv, ...)
 CAT_GPU = "gpu"         # one simulated GPU launch
 CAT_CASE = "case"       # one sweep-executor case attempt
+CAT_REQUEST = "request" # one serve-daemon request (client → result)
+CAT_SCHED = "sched"     # one scheduler execution (dequeue → case done)
 
 
 @dataclass
@@ -161,6 +163,15 @@ class Trace:
     gauges: dict
     meta: dict = field(default_factory=dict)
     gauge_peaks: dict = field(default_factory=dict)
+    #: Traces adopted from other processes (worker subprocesses) — kept
+    #: separate rather than merged, so exporters can assign per-process
+    #: pids and timelines (:func:`repro.obs.export.merge_traces`).
+    children: tuple = ()
+    #: ``time.time() - time.perf_counter()`` sampled when the recording
+    #: tracer was created.  Event timestamps are perf-counter values with
+    #: a per-process epoch; adding this offset places them on the shared
+    #: wall clock so traces from different processes align.
+    epoch_offset_s: float = 0.0
 
     @property
     def t0(self) -> float:
@@ -195,6 +206,71 @@ class Trace:
                 seen.setdefault(w)
         return sorted(seen, key=lambda w: (not w.startswith("worker-"), w))
 
+    # -- wire form (worker verdict JSON) ------------------------------- #
+    def to_dict(self) -> dict:
+        """A JSON-safe form carrying the full trace across processes.
+
+        This is how a worker subprocess ships its frozen trace home
+        inside the case verdict; :meth:`from_dict` round-trips it so the
+        parent can :meth:`Tracer.adopt` the result.
+        """
+        return {
+            "events": [
+                {
+                    "name": e.name,
+                    "cat": e.cat,
+                    "t0": e.t0,
+                    "t1": e.t1,
+                    "slot": e.slot,
+                    "depth": e.depth,
+                    "path": list(e.path),
+                    "attrs": dict(e.attrs),
+                    "instant": e.instant,
+                    "worker": e.worker,
+                    "tid": e.tid,
+                }
+                for e in self.events
+            ],
+            "counters": {k: dict(v) for k, v in self.counters.items()},
+            "gauges": {k: dict(v) for k, v in self.gauges.items()},
+            "gauge_peaks": {k: dict(v) for k, v in self.gauge_peaks.items()},
+            "meta": dict(self.meta),
+            "epoch_offset_s": self.epoch_offset_s,
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Trace":
+        events = tuple(
+            SpanEvent(
+                name=e["name"],
+                cat=e["cat"],
+                t0=float(e["t0"]),
+                t1=float(e["t1"]),
+                slot=int(e.get("slot", -1)),
+                depth=int(e.get("depth", 0)),
+                path=tuple(e.get("path", ())),
+                attrs=dict(e.get("attrs", {})),
+                instant=bool(e.get("instant", False)),
+                worker=e.get("worker", ""),
+                tid=int(e.get("tid", 0)),
+            )
+            for e in data.get("events", ())
+        )
+        return cls(
+            events=events,
+            counters={k: dict(v) for k, v in data.get("counters", {}).items()},
+            gauges={k: dict(v) for k, v in data.get("gauges", {}).items()},
+            meta=dict(data.get("meta", {})),
+            gauge_peaks={
+                k: dict(v) for k, v in data.get("gauge_peaks", {}).items()
+            },
+            children=tuple(
+                cls.from_dict(c) for c in data.get("children", ())
+            ),
+            epoch_offset_s=float(data.get("epoch_offset_s", 0.0)),
+        )
+
 
 #: Chrome-trace tids for events recorded outside any backend worker slot.
 EXTERNAL_TID_BASE = 1000
@@ -214,12 +290,19 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, meta: "dict | None" = None):
+    def __init__(self, meta: "dict | None" = None, trace_id: str = ""):
         self.meta = dict(meta or {})
+        self.trace_id = str(trace_id or "")
+        if self.trace_id:
+            self.meta.setdefault("trace_id", self.trace_id)
         self._buffers: dict[tuple, _WorkerBuffer] = {}
         self._lock = threading.Lock()
         self._tls = threading.local()
         self._prev: "Tracer | NullTracer | None" = None
+        self._children: list = []
+        # Wall-clock anchor pairing perf-counter timestamps with the
+        # shared epoch; see Trace.epoch_offset_s.
+        self._epoch_offset_s = time.time() - time.perf_counter()
 
     # -- recording ----------------------------------------------------- #
     def _stack(self) -> list:
@@ -295,6 +378,17 @@ class Tracer:
         if peak is None or value > peak:
             buf.gauge_peaks[name] = value
 
+    def adopt(self, trace: Trace) -> None:
+        """Attach a frozen trace from another process as a child.
+
+        The executor calls this with the trace a worker subprocess
+        returned in its verdict; :meth:`freeze` carries adopted traces
+        through as :attr:`Trace.children`.  Thread-safe — verdicts land
+        on scheduler pool threads.
+        """
+        with self._lock:
+            self._children.append(trace)
+
     # -- lifecycle ----------------------------------------------------- #
     def install(self) -> "Tracer":
         """Make this the process-global tracer read by instrumentation."""
@@ -329,6 +423,7 @@ class Tracer:
         """
         with self._lock:
             buffers = list(self._buffers.values())
+            children = tuple(self._children)
         slot_keys = sorted(b.key[1] for b in buffers if b.key[0] == "slot")
         thread_keys = [b.key for b in buffers if b.key[0] == "tid"]
         labels: dict[tuple, tuple] = {
@@ -358,6 +453,8 @@ class Tracer:
             gauges=gauges,
             meta=dict(self.meta),
             gauge_peaks=gauge_peaks,
+            children=children,
+            epoch_offset_s=self._epoch_offset_s,
         )
 
 
@@ -396,7 +493,25 @@ NULL_TRACER = NullTracer()
 
 _ACTIVE: "Tracer | NullTracer" = NULL_TRACER
 
+# Thread-local tracer overlay.  The serve daemon handles concurrent
+# traced requests on a shared worker pool, so a process-global install
+# would interleave unrelated requests into one trace; scoped_tracer()
+# binds a request's tracer to the pool thread executing its case.
+_TLS_SCOPE = threading.local()
+
 
 def current_tracer() -> "Tracer | NullTracer":
-    """The process-global tracer (the null tracer unless installed)."""
-    return _ACTIVE
+    """The active tracer: this thread's scoped one, else the global."""
+    tracer = getattr(_TLS_SCOPE, "tracer", None)
+    return _ACTIVE if tracer is None else tracer
+
+
+@contextlib.contextmanager
+def scoped_tracer(tracer: "Tracer | NullTracer"):
+    """Make ``tracer`` current on this thread for the ``with`` body."""
+    prev = getattr(_TLS_SCOPE, "tracer", None)
+    _TLS_SCOPE.tracer = tracer
+    try:
+        yield tracer
+    finally:
+        _TLS_SCOPE.tracer = prev

@@ -69,16 +69,26 @@ class ServeClient:
         finally:
             self._sock.close()
 
-    def request(self, op: str, params: "dict | None" = None, on_progress=None) -> dict:
+    def request(
+        self,
+        op: str,
+        params: "dict | None" = None,
+        on_progress=None,
+        trace: "dict | None" = None,
+    ) -> dict:
         """Send one request; block to its terminal response.
 
         Returns the ``result`` payload; ``progress`` payloads stream
         through ``on_progress``; an ``error`` response raises
-        :class:`ServeError`.
+        :class:`ServeError`.  ``trace`` (a trace-context dict, e.g.
+        ``TraceContext(...).to_dict()``) propagates the client's
+        trace_id into the daemon's spans.
         """
         self._next_id += 1
         rid = str(self._next_id)
-        self._sock.sendall(protocol.encode(protocol.make_request(op, params, id=rid)))
+        self._sock.sendall(
+            protocol.encode(protocol.make_request(op, params, id=rid, trace=trace))
+        )
         while True:
             line = self._file.readline()
             if not line:
@@ -101,7 +111,11 @@ class ServeClient:
 
 
 async def async_request(
-    socket_path, op: str, params: "dict | None" = None, on_progress=None
+    socket_path,
+    op: str,
+    params: "dict | None" = None,
+    on_progress=None,
+    trace: "dict | None" = None,
 ) -> dict:
     """One request over a fresh asyncio connection (concurrency tests).
 
@@ -110,7 +124,9 @@ async def async_request(
     """
     reader, writer = await asyncio.open_unix_connection(os.fspath(socket_path))
     try:
-        writer.write(protocol.encode(protocol.make_request(op, params, id="1")))
+        writer.write(
+            protocol.encode(protocol.make_request(op, params, id="1", trace=trace))
+        )
         await writer.drain()
         while True:
             line = await reader.readline()

@@ -30,6 +30,7 @@ format, and summarized by the ``status`` op.
 from __future__ import annotations
 
 import asyncio
+import json
 import os
 import signal
 import threading
@@ -39,7 +40,11 @@ from dataclasses import dataclass, field
 from repro.bench.executor import CaseRunner, ExecutorConfig, build_sweep_cases
 from repro.bench.runner import RunnerConfig
 from repro.bench.runstore import RunStore
+from repro.obs.context import TraceContext, activate_context, derive_span_id, new_trace_id
+from repro.obs.export import merge_traces
+from repro.obs.log import get_logger
 from repro.obs.registry import get_metrics
+from repro.obs.tracer import CAT_REQUEST, CAT_SCHED, Tracer, scoped_tracer
 from repro.serve import protocol
 from repro.serve.cache import ResultCache
 from repro.serve.scheduler import StealScheduler
@@ -66,6 +71,10 @@ class ServeConfig:
     #: TCP port of the Prometheus scrape endpoint (``None`` disables,
     #: ``0`` picks an ephemeral port).
     metrics_port: "int | None" = None
+    #: Directory receiving one merged Chrome trace per request
+    #: (``None`` disables request tracing entirely — the default, so an
+    #: untraced daemon pays nothing).
+    trace_dir: "str | None" = None
 
     def executor_config(self) -> ExecutorConfig:
         return ExecutorConfig(
@@ -76,6 +85,20 @@ class ServeConfig:
             workers=self.workers,
             steal_seed=self.steal_seed,
         )
+
+
+@dataclass
+class _RequestTrace:
+    """Per-request tracing state while a traced request is in flight."""
+
+    #: The request's tracer; pool threads bind it via scoped_tracer().
+    tracer: Tracer
+    #: Context handed to executions: parent_span = the request span.
+    context: TraceContext
+    #: Span id of the ``serve.<op>`` request span.
+    root_span: str
+    #: Monotonic per-daemon sequence number (names the trace file).
+    seq: int
 
 
 class BenchService:
@@ -100,6 +123,12 @@ class BenchService:
         self._metrics_server = None
         #: Actual Prometheus endpoint port once bound (ephemeral-capable).
         self.metrics_port_bound: "int | None" = None
+        self._log = get_logger("repro.serve")
+        #: fingerprint -> (_RequestTrace, submit perf_counter) while a
+        #: traced sweep's cases are in flight; read by pool threads.
+        self._trace_routes: dict = {}
+        self._trace_seq = 0
+        self._started_monotonic: "float | None" = None
 
     # ------------------------------------------------------------------ #
     # execution (pool threads)
@@ -111,19 +140,41 @@ class BenchService:
         before the scheduler removes the fingerprint from its live map —
         so at every instant a submitted fingerprint is a cache hit, an
         in-flight coalesce, or a fresh queue: never silently lost.
+
+        When the fingerprint was registered by a traced request, the
+        request's tracer and context bind to this pool thread for the
+        duration, so the case/worker spans land in that request's trace.
+        A coalesced case traces to whichever request queued it first.
         """
-        outcome = self.runner.run_case(
-            case, self.store, store_lock=self._store_lock
-        )
+        route = self._trace_routes.get(case.fingerprint)
+        if route is None:
+            outcome = self.runner.run_case(
+                case, self.store, store_lock=self._store_lock
+            )
+        else:
+            rctx, t_submit = route
+            with scoped_tracer(rctx.tracer), activate_context(rctx.context):
+                with rctx.tracer.span(
+                    "sched.execute",
+                    cat=CAT_SCHED,
+                    fingerprint=case.fingerprint,
+                    wait_s=round(time.perf_counter() - t_submit, 6),
+                ):
+                    outcome = self.runner.run_case(
+                        case, self.store, store_lock=self._store_lock
+                    )
         self.cache.add(outcome.line)
         if not outcome.completed:
             self.metrics.inc("serve.quarantined")
+            self._log.warn(
+                "case.quarantined", fingerprint=case.fingerprint
+            )
         return outcome.completed
 
     # ------------------------------------------------------------------ #
     # request handlers (asyncio)
     # ------------------------------------------------------------------ #
-    async def _handle_sweep(self, params: dict, send) -> dict:
+    async def _handle_sweep(self, params: dict, send, rctx=None) -> dict:
         scale = float(params.get("scale", 1000.0))
         seed = int(params.get("seed", 0))
         runner_config = RunnerConfig(
@@ -141,51 +192,69 @@ class BenchService:
             platforms=tuple(params.get("platforms", ("Bluesky",))),
             config=runner_config,
         )
-        # Hits / coalesces / queues classify atomically under the
-        # scheduler lock (the cache probe runs inside submit), so a case
-        # completing concurrently is a hit, never a duplicate execution.
-        ticket = self.scheduler.submit(cases, completed=self.cache.has)
-        self.metrics.inc("serve.cache_hits", len(ticket.hits))
-        self.metrics.inc(
-            "serve.cache_misses", len(ticket.coalesced) + len(ticket.queued)
-        )
-        self.metrics.inc("serve.coalesced", len(ticket.coalesced))
-        self.metrics.inc("serve.executed", len(ticket.queued))
-        while True:
-            finished = await asyncio.to_thread(
-                ticket.wait, self.config.progress_interval_s
+        # Route this request's tracer to the pool threads that will
+        # execute its cases — registered *before* submit so no case can
+        # start untraced; unregistered in the finally (own entries only,
+        # so a concurrent request's routes survive).
+        registered = []
+        if rctx is not None:
+            t_submit = time.perf_counter()
+            for case in cases:
+                if case.fingerprint not in self._trace_routes:
+                    self._trace_routes[case.fingerprint] = (rctx, t_submit)
+                    registered.append(case.fingerprint)
+        try:
+            # Hits / coalesces / queues classify atomically under the
+            # scheduler lock (the cache probe runs inside submit), so a
+            # case completing concurrently is a hit, never a duplicate
+            # execution.
+            ticket = self.scheduler.submit(cases, completed=self.cache.has)
+            self.metrics.inc("serve.cache_hits", len(ticket.hits))
+            self.metrics.inc(
+                "serve.cache_misses", len(ticket.coalesced) + len(ticket.queued)
             )
-            if finished:
-                break
-            await send(
-                {
-                    "total": ticket.total,
-                    "hits": len(ticket.hits),
-                    "done": ticket.done_count(),
-                    "pending": ticket.pending_count(),
-                }
-            )
-        completed, quarantined, records = [], [], []
-        for fp in ticket.fingerprints:
-            line = self.cache.lookup(fp)
-            if line is not None:
-                completed.append(fp)
-                records.append(line["record"])
-            else:
-                quarantined.append(fp)
-        return {
-            "total": ticket.total,
-            "hits": len(ticket.hits),
-            "misses": len(ticket.coalesced) + len(ticket.queued),
-            "coalesced": len(ticket.coalesced),
-            "executed": len(ticket.queued),
-            "completed": completed,
-            "quarantined": quarantined,
-            "fingerprints": list(ticket.fingerprints),
-            "records": records,
-        }
+            self.metrics.inc("serve.coalesced", len(ticket.coalesced))
+            self.metrics.inc("serve.executed", len(ticket.queued))
+            while True:
+                finished = await asyncio.to_thread(
+                    ticket.wait, self.config.progress_interval_s
+                )
+                if finished:
+                    break
+                await send(
+                    {
+                        "total": ticket.total,
+                        "hits": len(ticket.hits),
+                        "done": ticket.done_count(),
+                        "pending": ticket.pending_count(),
+                    }
+                )
+            completed, quarantined, records = [], [], []
+            for fp in ticket.fingerprints:
+                line = self.cache.lookup(fp)
+                if line is not None:
+                    completed.append(fp)
+                    records.append(line["record"])
+                else:
+                    quarantined.append(fp)
+            return {
+                "total": ticket.total,
+                "hits": len(ticket.hits),
+                "misses": len(ticket.coalesced) + len(ticket.queued),
+                "coalesced": len(ticket.coalesced),
+                "executed": len(ticket.queued),
+                "completed": completed,
+                "quarantined": quarantined,
+                "fingerprints": list(ticket.fingerprints),
+                "records": records,
+            }
+        finally:
+            for fp in registered:
+                entry = self._trace_routes.get(fp)
+                if entry is not None and entry[0] is rctx:
+                    self._trace_routes.pop(fp, None)
 
-    async def _handle_report(self, params: dict, send) -> dict:
+    async def _handle_report(self, params: dict, send, rctx=None) -> dict:
         from repro.bench.report import build_report
 
         fmt = params.get("format", "text")
@@ -194,7 +263,7 @@ class BenchService:
         body = report.as_dict() if fmt == "json" else report.render(fmt)
         return {"format": fmt, "nrecords": len(records), "report": body}
 
-    async def _handle_regress(self, params: dict, send) -> dict:
+    async def _handle_regress(self, params: dict, send, rctx=None) -> dict:
         from repro.bench.regress import compare_paths
 
         report = await asyncio.to_thread(
@@ -214,7 +283,7 @@ class BenchService:
             "report": report.as_dict(),
         }
 
-    async def _handle_status(self, params: dict, send) -> dict:
+    async def _handle_status(self, params: dict, send, rctx=None) -> dict:
         from repro.bench.runner import fingerprint_schema_version
 
         nrecords, nquarantined = self.cache.counts()
@@ -230,20 +299,105 @@ class BenchService:
             "counters": self.metrics.counter_totals(prefix="serve."),
         }
 
+    async def _handle_health(self, params: dict, send, rctx=None) -> dict:
+        nrecords, nquarantined = self.cache.counts()
+        counters = self.metrics.counter_totals(prefix="serve.")
+        hits = counters.get("serve.cache_hits", 0.0)
+        misses = counters.get("serve.cache_misses", 0.0)
+        lookups = hits + misses
+        live = self.scheduler.inflight()
+        queued = self.scheduler.queued()
+        hist = self.metrics.as_dict()["histograms"].get(
+            "serve.request_seconds", ()
+        )
+        quantiles = self.metrics.histogram_quantiles("serve.request_seconds")
+        uptime = (
+            0.0
+            if self._started_monotonic is None
+            else time.monotonic() - self._started_monotonic
+        )
+        return {
+            "protocol": protocol.PROTOCOL_VERSION,
+            "uptime_s": round(uptime, 3),
+            "store": self.store.path,
+            "records": nrecords,
+            "quarantined": nquarantined,
+            "inflight": max(0, live - queued),
+            "queued": queued,
+            "workers": self.config.workers,
+            "steals": int(counters.get("serve.steals", 0.0)),
+            "requests": int(counters.get("serve.requests", 0.0)),
+            "errors": int(counters.get("serve.errors", 0.0)),
+            "cache_hits": int(hits),
+            "cache_misses": int(misses),
+            # null, not a fake 0.0, before the first sweep touches the
+            # cache (same convention as the stats helpers).
+            "cache_hit_rate": (hits / lookups) if lookups else None,
+            "request_seconds": {
+                "count": int(sum(s["count"] for s in hist)),
+                "sum": round(float(sum(s["sum"] for s in hist)), 6),
+                **(quantiles or {"p50": None, "p95": None, "p99": None}),
+            },
+        }
+
     _HANDLERS = {
         protocol.OP_SWEEP: _handle_sweep,
         protocol.OP_REPORT: _handle_report,
         protocol.OP_REGRESS: _handle_regress,
         protocol.OP_STATUS: _handle_status,
+        protocol.OP_HEALTH: _handle_health,
     }
 
     # ------------------------------------------------------------------ #
     # connection plumbing
     # ------------------------------------------------------------------ #
+    def _request_trace(self, request: dict) -> "_RequestTrace | None":
+        """Tracing state for one request, or ``None`` when disabled.
+
+        With ``trace_dir`` set every request is traced: a client-provided
+        context (the optional ``trace`` request field) joins the client's
+        trace_id; without one the daemon mints a fresh id, so plain
+        clients still produce complete merged traces.
+        """
+        if self.config.trace_dir is None:
+            return None
+        raw = request.get("trace")
+        ctx = (
+            TraceContext.from_dict(raw)
+            if raw
+            else TraceContext(trace_id=new_trace_id())
+        )
+        self._trace_seq += 1
+        seq = self._trace_seq
+        root_span = derive_span_id(ctx.trace_id, "request", seq, request["id"])
+        tracer = Tracer(
+            trace_id=ctx.trace_id,
+            meta={"process": "daemon", "parent_span": ctx.parent_span},
+        )
+        return _RequestTrace(
+            tracer=tracer, context=ctx.child(root_span),
+            root_span=root_span, seq=seq,
+        )
+
+    def _write_trace(self, op: str, rctx: _RequestTrace) -> str:
+        os.makedirs(self.config.trace_dir, exist_ok=True)
+        trace = rctx.tracer.freeze()
+        doc = merge_traces(trace, trace_id=rctx.tracer.trace_id)
+        path = os.path.join(
+            self.config.trace_dir,
+            f"req-{rctx.seq:06d}-{op}-{rctx.tracer.trace_id}.json",
+        )
+        with open(path, "w") as f:
+            json.dump(doc, f, indent=1)
+            f.write("\n")
+        return path
+
     async def _dispatch(self, request: dict, send) -> None:
         rid, op = request["id"], request["op"]
         self.metrics.inc("serve.requests", op=op)
         t0 = time.perf_counter()
+        rctx = self._request_trace(request)
+        ok = True
 
         async def send_progress(payload):
             await send(
@@ -252,23 +406,54 @@ class BenchService:
 
         try:
             handler = self._HANDLERS[op]
-            payload = await handler(self, request["params"], send_progress)
+            if rctx is None:
+                payload = await handler(self, request["params"], send_progress)
+            else:
+                with rctx.tracer.span(
+                    f"serve.{op}",
+                    cat=CAT_REQUEST,
+                    id=rid,
+                    op=op,
+                    span_id=rctx.root_span,
+                ):
+                    payload = await handler(
+                        self, request["params"], send_progress, rctx
+                    )
             await send(
                 protocol.make_response(rid, protocol.KIND_RESULT, payload)
             )
         except Exception as exc:  # noqa: BLE001 - reported on the wire
+            ok = False
             self.metrics.inc("serve.errors", op=op)
+            self._log.error(
+                "request.failed", op=op, id=rid,
+                error=f"{type(exc).__name__}: {exc}",
+            )
             await send(
                 protocol.error_response(rid, f"{type(exc).__name__}: {exc}")
             )
         finally:
-            self.metrics.observe(
-                "serve.request_seconds", time.perf_counter() - t0, op=op
+            elapsed = time.perf_counter() - t0
+            self.metrics.observe("serve.request_seconds", elapsed, op=op)
+            self._log.info(
+                "request", op=op, id=rid, ok=ok, elapsed_s=round(elapsed, 6),
+                **(
+                    {"request_trace_id": rctx.tracer.trace_id}
+                    if rctx is not None
+                    else {}
+                ),
             )
+            if rctx is not None:
+                try:
+                    path = await asyncio.to_thread(self._write_trace, op, rctx)
+                    self._log.debug("trace.written", path=path, op=op, id=rid)
+                except OSError as exc:
+                    self._log.error("trace.write_failed", error=str(exc))
 
     async def _client_connected(self, reader, writer) -> None:
         conn = (asyncio.current_task(), writer)
         self._connections.add(conn)
+        self._log.debug("client.connected", connections=len(self._connections))
         write_lock = asyncio.Lock()
         inflight = set()
 
@@ -300,6 +485,9 @@ class BenchService:
                 task.add_done_callback(inflight.discard)
         finally:
             self._connections.discard(conn)
+            self._log.debug(
+                "client.disconnected", connections=len(self._connections)
+            )
             if inflight:
                 await asyncio.gather(*inflight, return_exceptions=True)
             writer.close()
@@ -338,6 +526,7 @@ class BenchService:
         """Serve until stopped; ``ready`` (a callable) fires once bound."""
         self._stop = asyncio.Event()
         self._loop = asyncio.get_running_loop()
+        self._started_monotonic = time.monotonic()
         self.scheduler.start()
         sock = self.config.socket_path
         os.makedirs(os.path.dirname(sock) or ".", exist_ok=True)
@@ -360,9 +549,18 @@ class BenchService:
                 pass
         if ready is not None:
             ready()
+        self._log.info(
+            "daemon.started",
+            socket=sock,
+            store=self.store.path,
+            workers=self.config.workers,
+            isolation=self.config.isolation,
+            trace_dir=self.config.trace_dir,
+        )
         try:
             await self._stop.wait()
         finally:
+            self._log.info("daemon.stopping")
             self._server.close()
             await self._server.wait_closed()
             if self._metrics_server is not None:

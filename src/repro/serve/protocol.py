@@ -26,7 +26,8 @@ OP_SWEEP = "sweep"
 OP_REPORT = "report"
 OP_REGRESS = "regress"
 OP_STATUS = "status"
-OPS = (OP_SWEEP, OP_REPORT, OP_REGRESS, OP_STATUS)
+OP_HEALTH = "health"
+OPS = (OP_SWEEP, OP_REPORT, OP_REGRESS, OP_STATUS, OP_HEALTH)
 
 KIND_PROGRESS = "progress"
 KIND_RESULT = "result"
@@ -34,6 +35,13 @@ KIND_ERROR = "error"
 RESPONSE_KINDS = (KIND_PROGRESS, KIND_RESULT, KIND_ERROR)
 
 REQUEST_KEYS = ("v", "id", "op", "params")
+#: Optional request keys (absent = feature off; additive, so the
+#: protocol version stays 1 and old clients/daemons interoperate).
+REQUEST_OPTIONAL_KEYS = ("trace",)
+#: Shape of the optional ``trace`` request field — the distributed
+#: trace context a client injects so daemon + worker spans share its
+#: trace_id (see :mod:`repro.obs.context`).  ``trace_id`` is required.
+TRACE_KEYS = ("trace_id", "parent_span", "baggage")
 RESPONSE_KEYS = ("v", "id", "ok", "kind", "payload")
 
 #: Accepted ``params`` keys per op (all optional unless noted).
@@ -44,11 +52,13 @@ REGRESS_PARAM_KEYS = (
     "baseline", "threshold", "confidence", "resamples", "min_pairs", "seed",
 )
 STATUS_PARAM_KEYS = ()
+HEALTH_PARAM_KEYS = ()
 PARAM_KEYS = {
     OP_SWEEP: SWEEP_PARAM_KEYS,
     OP_REPORT: REPORT_PARAM_KEYS,
     OP_REGRESS: REGRESS_PARAM_KEYS,
     OP_STATUS: STATUS_PARAM_KEYS,
+    OP_HEALTH: HEALTH_PARAM_KEYS,
 }
 
 #: ``result`` payload keys per op.
@@ -69,6 +79,25 @@ STATUS_RESULT_KEYS = (
     "protocol", "store", "fingerprint_schema", "records", "quarantined",
     "inflight", "workers", "isolation", "counters",
 )
+HEALTH_RESULT_KEYS = (
+    "protocol",        # wire protocol version
+    "uptime_s",        # seconds since the daemon accepted connections
+    "store",           # run-store path
+    "records",         # completed records in the cache
+    "quarantined",     # quarantined fingerprints in the cache
+    "inflight",        # cases executing right now
+    "queued",          # cases sitting in scheduler deques
+    "workers",         # scheduler pool width
+    "steals",          # work-stealing victim grabs so far
+    "requests",        # requests served (all ops)
+    "errors",          # requests that ended in an error response
+    "cache_hits",      # sweep cases served from cache
+    "cache_misses",    # sweep cases not in cache
+    "cache_hit_rate",  # hits / (hits + misses), null before any sweep
+    "request_seconds", # {"count", "sum", "p50", "p95", "p99"} latency
+)
+#: Keys of the ``request_seconds`` latency summary inside ``health``.
+HEALTH_LATENCY_KEYS = ("count", "sum", "p50", "p95", "p99")
 PROGRESS_KEYS = ("total", "hits", "done", "pending")
 
 #: Counter/histogram names the daemon feeds through the metrics
@@ -90,11 +119,24 @@ class ProtocolError(ValueError):
     """A wire object that violates the pinned schema."""
 
 
-def make_request(op: str, params: "dict | None" = None, id: str = "0") -> dict:
-    """A validated request object."""
-    return validate_request(
-        {"v": PROTOCOL_VERSION, "id": str(id), "op": op, "params": dict(params or {})}
-    )
+def make_request(
+    op: str,
+    params: "dict | None" = None,
+    id: str = "0",
+    trace: "dict | None" = None,
+) -> dict:
+    """A validated request object.
+
+    ``trace`` (optional) is a trace-context dict (:data:`TRACE_KEYS`)
+    propagating the client's trace_id into the daemon.
+    """
+    obj = {
+        "v": PROTOCOL_VERSION, "id": str(id), "op": op,
+        "params": dict(params or {}),
+    }
+    if trace is not None:
+        obj["trace"] = dict(trace)
+    return validate_request(obj)
 
 
 def validate_request(obj) -> dict:
@@ -103,10 +145,15 @@ def validate_request(obj) -> dict:
         raise ProtocolError(
             f"request must be a JSON object, got {type(obj).__name__}"
         )
-    if set(obj) != set(REQUEST_KEYS):
+    missing = set(REQUEST_KEYS) - set(obj)
+    extra = set(obj) - set(REQUEST_KEYS) - set(REQUEST_OPTIONAL_KEYS)
+    if missing or extra:
         raise ProtocolError(
             f"request keys {sorted(obj)} != {sorted(REQUEST_KEYS)}"
+            f" (+ optional {sorted(REQUEST_OPTIONAL_KEYS)})"
         )
+    if "trace" in obj:
+        _validate_trace(obj["trace"])
     if obj["v"] != PROTOCOL_VERSION:
         raise ProtocolError(
             f"protocol version {obj['v']!r} != {PROTOCOL_VERSION}"
@@ -126,6 +173,25 @@ def validate_request(obj) -> dict:
     if op == OP_REGRESS and "baseline" not in params:
         raise ProtocolError("regress requires params.baseline")
     return obj
+
+
+def _validate_trace(trace) -> None:
+    if not isinstance(trace, dict):
+        raise ProtocolError(
+            f"trace must be an object, got {type(trace).__name__}"
+        )
+    unknown = set(trace) - set(TRACE_KEYS)
+    if unknown:
+        raise ProtocolError(
+            f"unknown trace key(s) {sorted(unknown)}; allowed: {sorted(TRACE_KEYS)}"
+        )
+    trace_id = trace.get("trace_id")
+    if not isinstance(trace_id, str) or not trace_id:
+        raise ProtocolError("trace.trace_id must be a non-empty string")
+    if not isinstance(trace.get("parent_span", ""), str):
+        raise ProtocolError("trace.parent_span must be a string")
+    if not isinstance(trace.get("baggage", {}), dict):
+        raise ProtocolError("trace.baggage must be an object")
 
 
 def make_response(id: str, kind: str, payload: dict) -> dict:

@@ -201,6 +201,11 @@ class StealScheduler:
         with self._cond:
             return len(self._live)
 
+    def queued(self) -> int:
+        """Cases sitting in worker deques, not yet picked up."""
+        with self._cond:
+            return sum(len(dq) for dq in self._deques)
+
     def shutdown(self) -> None:
         """Stop the pool; queued-but-unstarted cases are abandoned.
 

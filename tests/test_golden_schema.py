@@ -73,8 +73,10 @@ HEADER_LINE_KEYS = {"v", "kind", "fingerprint_schema"}
 # Serve-protocol goldens (repro.serve.protocol): scripted clients parse
 # these wire lines and scrape these metric names.
 SERVE_REQUEST_KEYS = {"v", "id", "op", "params"}
+SERVE_REQUEST_OPTIONAL_KEYS = {"trace"}
+SERVE_TRACE_KEYS = {"trace_id", "parent_span", "baggage"}
 SERVE_RESPONSE_KEYS = {"v", "id", "ok", "kind", "payload"}
-SERVE_OPS = {"sweep", "report", "regress", "status"}
+SERVE_OPS = {"sweep", "report", "regress", "status", "health"}
 SERVE_PARAM_KEYS = {
     "sweep": {"dataset", "tensors", "platforms", "scale", "seed", "rank"},
     "report": {"format"},
@@ -82,7 +84,14 @@ SERVE_PARAM_KEYS = {
         "baseline", "threshold", "confidence", "resamples", "min_pairs", "seed",
     },
     "status": set(),
+    "health": set(),
 }
+SERVE_HEALTH_RESULT_KEYS = {
+    "protocol", "uptime_s", "store", "records", "quarantined", "inflight",
+    "queued", "workers", "steals", "requests", "errors", "cache_hits",
+    "cache_misses", "cache_hit_rate", "request_seconds",
+}
+SERVE_HEALTH_LATENCY_KEYS = {"count", "sum", "p50", "p95", "p99"}
 SERVE_SWEEP_RESULT_KEYS = {
     "total", "hits", "misses", "coalesced", "executed", "completed",
     "quarantined", "fingerprints", "records",
@@ -316,6 +325,70 @@ class TestChromeTraceSchema:
         assert json.loads(json.dumps(doc)) == doc
 
 
+def merged_inputs() -> tuple:
+    from repro.obs import Trace
+
+    parent = Tracer(trace_id="cafe", meta={"process": "daemon"})
+    with parent:
+        with parent.span("serve.sweep", cat="request", span_id="feed"):
+            pass
+    child = Tracer(
+        trace_id="cafe", meta={"process": "worker", "parent_span": "feed"}
+    )
+    with child:
+        with child.span("run.mttkrp", cat="kernel"):
+            pass
+    root = parent.freeze()
+    # Round-trip the child through the verdict wire format first, as the
+    # executor does when folding a worker subprocess's spans back in.
+    kid = Trace.from_dict(json.loads(json.dumps(child.freeze().to_dict())))
+    return root, kid
+
+
+def merged() -> dict:
+    from repro.obs import merge_traces
+
+    root, kid = merged_inputs()
+    return merge_traces(root, children=[kid], trace_id="cafe")
+
+
+class TestMergedTraceSchema:
+    def test_top_level_keys(self):
+        doc = merged()
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert doc["otherData"]["exporter"] == "repro.obs"
+        assert doc["otherData"]["version"] == CHROME_TRACE_VERSION
+        assert doc["otherData"]["trace_id"] == "cafe"
+        assert doc["otherData"]["processes"] == 2
+
+    def test_processes_and_flow_events(self):
+        events = merged()["traceEvents"]
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert names == {0: "daemon", 1: "worker"}
+        spans = [e for e in events if e["ph"] == "X"]
+        assert {e["pid"] for e in spans} == {0, 1}
+        flows = sorted(
+            (e for e in events if e.get("cat") == "flow"),
+            key=lambda e: e["ph"],
+        )
+        assert [e["ph"] for e in flows] == ["f", "s"]
+        assert all(e["name"] == "spawn" for e in flows)
+        assert all(e["id"] == "feed" for e in flows)
+        assert flows[1]["pid"] == 0 and flows[0]["pid"] == 1
+
+    def test_merge_is_deterministic(self):
+        from repro.obs import merge_traces
+
+        root, kid = merged_inputs()
+        once = json.dumps(merge_traces(root, children=[kid], trace_id="cafe"))
+        again = json.dumps(merge_traces(root, children=[kid], trace_id="cafe"))
+        assert once == again
+
+
 # ---------------------------------------------------------------------- #
 # Roofline attribution block (PerfRecord.extra["roofline"])
 # ---------------------------------------------------------------------- #
@@ -381,6 +454,10 @@ class TestServeProtocolGolden:
         assert set(protocol.SWEEP_RESULT_KEYS) == SERVE_SWEEP_RESULT_KEYS
         assert set(protocol.STATUS_RESULT_KEYS) == SERVE_STATUS_RESULT_KEYS
         assert set(protocol.PROGRESS_KEYS) == SERVE_PROGRESS_KEYS
+        assert set(protocol.REQUEST_OPTIONAL_KEYS) == SERVE_REQUEST_OPTIONAL_KEYS
+        assert set(protocol.TRACE_KEYS) == SERVE_TRACE_KEYS
+        assert set(protocol.HEALTH_RESULT_KEYS) == SERVE_HEALTH_RESULT_KEYS
+        assert set(protocol.HEALTH_LATENCY_KEYS) == SERVE_HEALTH_LATENCY_KEYS
 
     def test_serve_counter_names_are_pinned(self):
         from repro.serve import protocol
@@ -395,6 +472,29 @@ class TestServeProtocolGolden:
         assert set(req) == SERVE_REQUEST_KEYS
         back = protocol.validate_request(protocol.decode(protocol.encode(req)))
         assert back == req
+
+    def test_traced_request_wire_round_trip(self):
+        from repro.serve import protocol
+
+        trace = {"trace_id": "cafe", "parent_span": "beef", "baggage": {}}
+        req = protocol.make_request("sweep", {"tensors": ["s1"]}, trace=trace)
+        assert set(req) == SERVE_REQUEST_KEYS | {"trace"}
+        assert set(req["trace"]) == SERVE_TRACE_KEYS
+        back = protocol.validate_request(protocol.decode(protocol.encode(req)))
+        assert back == req
+        # An untraced request stays byte-identical to protocol v1 wire.
+        assert "trace" not in protocol.make_request("sweep", {})
+
+    def test_malformed_trace_is_rejected(self):
+        from repro.serve import protocol
+
+        req = protocol.make_request("status")
+        req["trace"] = {"trace_id": ""}
+        with pytest.raises(protocol.ProtocolError, match="trace"):
+            protocol.validate_request(req)
+        req["trace"] = {"trace_id": "cafe", "surprise": 1}
+        with pytest.raises(protocol.ProtocolError, match="trace"):
+            protocol.validate_request(req)
 
     def test_response_wire_round_trip(self):
         from repro.serve import protocol
@@ -446,6 +546,10 @@ class TestPrometheusExportGolden:
             'case_s_bucket{kernel="mttkrp",le="+Inf"} 1\n'
             'case_s_sum{kernel="mttkrp"} 0.02\n'
             'case_s_count{kernel="mttkrp"} 1\n'
+            "# TYPE case_s_quantile gauge\n"
+            'case_s_quantile{kernel="mttkrp",quantile="0.5"} 0.02\n'
+            'case_s_quantile{kernel="mttkrp",quantile="0.95"} 0.02\n'
+            'case_s_quantile{kernel="mttkrp",quantile="0.99"} 0.02\n'
             "# TYPE exec_completed counter\n"
             'exec_completed{fmt="hicoo",kernel="mttkrp"} 3\n'
             "# TYPE ws_bytes gauge\n"

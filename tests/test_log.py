@@ -1,0 +1,169 @@
+"""Tests for structured JSON-lines logging (repro.obs.log).
+
+Pins the emit contract (modes, levels, reserved keys, trace
+correlation) and — the property the rest of the suite depends on — that
+logging rides **stderr** only, so every machine-readable stdout surface
+(``repro client``, ``repro ingest-bench --json``) stays byte-clean under
+``REPRO_LOG=json``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs import log as obs_log
+from repro.obs.context import TraceContext, activate_context
+from repro.obs.log import LEVELS, MODES, configure, get_logger, reset
+
+
+@pytest.fixture(autouse=True)
+def _fresh_config(monkeypatch):
+    monkeypatch.delenv("REPRO_LOG", raising=False)
+    monkeypatch.delenv("REPRO_LOG_LEVEL", raising=False)
+    reset()
+    yield
+    reset()
+
+
+def capture(mode="json", level="debug"):
+    buf = io.StringIO()
+    configure(mode=mode, level=level, stream=buf)
+    return buf
+
+
+class TestEmit:
+    def test_json_lines_have_reserved_keys(self):
+        buf = capture()
+        get_logger("repro.test").info("case.completed", fingerprint="fp", n=3)
+        (line,) = buf.getvalue().splitlines()
+        record = json.loads(line)
+        assert record["event"] == "case.completed"
+        assert record["level"] == "info"
+        assert record["logger"] == "repro.test"
+        assert record["fingerprint"] == "fp" and record["n"] == 3
+        assert isinstance(record["ts"], float)
+
+    def test_reserved_keys_beat_caller_fields(self):
+        buf = capture()
+        get_logger("repro.test").info("real", level="fake", logger="fake")
+        record = json.loads(buf.getvalue())
+        assert record["event"] == "real"
+        assert record["level"] == "info"
+        assert record["logger"] == "repro.test"
+
+    def test_level_threshold_filters(self):
+        buf = capture(level="warn")
+        logger = get_logger("repro.test")
+        logger.debug("quiet")
+        logger.info("quiet")
+        logger.warn("loud")
+        logger.error("loud")
+        lines = buf.getvalue().splitlines()
+        assert len(lines) == 2
+        assert not logger.enabled_for("info")
+        assert logger.enabled_for("error")
+
+    def test_off_mode_emits_nothing(self):
+        buf = capture(mode="off")
+        get_logger("repro.test").error("nope")
+        assert buf.getvalue() == ""
+        assert not get_logger("repro.test").enabled_for("error")
+
+    def test_text_mode_is_human_oriented(self):
+        buf = capture(mode="text")
+        get_logger("repro.test").warn("slow.case", seconds=1.5)
+        line = buf.getvalue()
+        assert "warn" in line and "repro.test: slow.case" in line
+        assert "seconds=1.5" in line
+
+    def test_env_config_is_honored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "off")
+        reset()
+        assert not get_logger("repro.test").enabled_for("error")
+        monkeypatch.setenv("REPRO_LOG", "json")
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "error")
+        reset()
+        logger = get_logger("repro.test")
+        assert logger.enabled_for("error")
+        assert not logger.enabled_for("warn")
+
+    def test_active_trace_context_is_attached(self):
+        buf = capture()
+        with activate_context(TraceContext(trace_id="cafe", parent_span="feed")):
+            get_logger("repro.test").info("traced")
+        record = json.loads(buf.getvalue())
+        assert record["trace_id"] == "cafe"
+        assert record["span"] == "feed"
+
+    def test_closed_stream_never_raises(self):
+        buf = capture()
+        buf.close()
+        get_logger("repro.test").info("into the void")  # must not raise
+
+    def test_mode_and_level_tables_are_pinned(self):
+        assert MODES == ("json", "text", "off")
+        assert set(LEVELS) == {"debug", "info", "warn", "error"}
+
+    def test_get_logger_is_cached(self):
+        assert get_logger("repro.x") is get_logger("repro.x")
+
+
+class TestStdoutStaysClean:
+    """--json stdout surfaces parse cleanly with REPRO_LOG=json active."""
+
+    def test_ingest_bench_json_stdout(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_LOG", "json")
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "debug")
+        reset()
+        rc = main([
+            "ingest-bench", "--shape", "48", "48", "8", "--events", "4000",
+            "--batch", "1000", "--window", "2", "--workers", "2",
+            "--query-every", "2", "--rank", "4", "--json",
+            "--store", str(tmp_path / "ingest.jsonl"),
+        ])
+        captured = capsys.readouterr()
+        assert rc == 0
+        doc = json.loads(captured.out)  # stdout is exactly one JSON doc
+        assert doc["summary"]["events"] == 4000
+        # the lifecycle diagnostics landed on stderr as JSON lines
+        events = [json.loads(l)["event"] for l in captured.err.splitlines()]
+        assert "ingest.started" in events
+        assert "ingest.completed" in events
+
+    def test_client_json_stdout(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+        from test_serve import service_thread
+
+        monkeypatch.setenv("REPRO_LOG", "json")
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "debug")
+        reset()
+        with service_thread(tmp_path) as service:
+            rc = main([
+                "client", "--socket", service.config.socket_path, "status",
+            ])
+        captured = capsys.readouterr()
+        assert rc == 0
+        payload = json.loads(captured.out)
+        assert payload["records"] == 0
+        for line in captured.err.splitlines():
+            json.loads(line)  # every stderr line is a JSON record
+
+    def test_health_json_stdout(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+        from test_serve import service_thread
+
+        monkeypatch.setenv("REPRO_LOG", "json")
+        reset()
+        with service_thread(tmp_path) as service:
+            rc = main([
+                "health", "--socket", service.config.socket_path, "--json",
+            ])
+        captured = capsys.readouterr()
+        assert rc == 0
+        health = json.loads(captured.out)
+        assert health["cache_hit_rate"] is None

@@ -527,3 +527,124 @@ class TestReportAndRegress:
                 verdict = client.request("regress", {"baseline": str(baseline)})
         assert verdict["exit_code"] == 0
         assert verdict["candidate"] == service.config.store_path
+
+
+# ---------------------------------------------------------------------- #
+# live health telemetry and end-to-end request tracing
+# ---------------------------------------------------------------------- #
+
+
+class TestHealth:
+    def test_health_reports_live_telemetry(self, tmp_path):
+        from repro.serve import protocol
+
+        with service_thread(tmp_path) as service:
+            with ServeClient(service.config.socket_path) as client:
+                client.request("sweep", SWEEP_PARAMS)  # cold: all misses
+                client.request("sweep", SWEEP_PARAMS)  # warm: all hits
+                health = client.request("health")
+        assert set(health) == set(protocol.HEALTH_RESULT_KEYS)
+        assert set(health["request_seconds"]) == set(
+            protocol.HEALTH_LATENCY_KEYS
+        )
+        assert health["protocol"] == protocol.PROTOCOL_VERSION
+        assert health["uptime_s"] > 0.0
+        assert health["store"] == service.config.store_path
+        assert health["records"] == 10
+        assert health["workers"] == service.config.workers
+        assert health["inflight"] == 0 and health["queued"] == 0
+        assert health["cache_hits"] == 10 and health["cache_misses"] == 10
+        assert health["cache_hit_rate"] == pytest.approx(0.5)
+        # The in-flight health request is not yet observed: both sweeps are.
+        lat = health["request_seconds"]
+        assert lat["count"] == 2
+        assert lat["p50"] is not None and lat["p99"] >= lat["p50"] > 0.0
+
+    def test_fresh_daemon_health_has_null_rates(self, tmp_path):
+        with service_thread(tmp_path) as service:
+            with ServeClient(service.config.socket_path) as client:
+                health = client.request("health")
+        assert health["cache_hit_rate"] is None
+        assert health["request_seconds"]["count"] == 0
+        assert health["request_seconds"]["p50"] is None
+
+
+class TestRequestTracing:
+    def wait_for_traces(self, trace_dir, n, timeout_s=30.0):
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            files = sorted(trace_dir.glob("req-*.json"))
+            if len(files) >= n:
+                return files
+            time.sleep(0.05)
+        raise AssertionError(f"{n} merged trace(s) never appeared in {trace_dir}")
+
+    def test_client_trace_id_round_trips_to_worker_spans(self, tmp_path):
+        trace_dir = tmp_path / "traces"
+        with service_thread(
+            tmp_path, isolation="process", trace_dir=str(trace_dir)
+        ) as service:
+            with ServeClient(service.config.socket_path) as client:
+                result = client.request(
+                    "sweep",
+                    SWEEP_PARAMS,
+                    trace={
+                        "trace_id": "cafe0123feedbeef",
+                        "parent_span": "",
+                        "baggage": {},
+                    },
+                )
+            assert result["executed"] == result["total"] == 10
+            (path,) = self.wait_for_traces(trace_dir, 1)
+            doc = json.loads(path.read_text())
+        assert "cafe0123feedbeef" in path.name
+        assert doc["otherData"]["trace_id"] == "cafe0123feedbeef"
+        events = doc["traceEvents"]
+        request_spans = [
+            e for e in events if e["ph"] == "X" and e["name"] == "serve.sweep"
+        ]
+        assert len(request_spans) == 1 and request_spans[0]["pid"] == 0
+        sched_spans = [e for e in events if e["name"] == "sched.execute"]
+        assert len(sched_spans) == 10
+        assert all(e["pid"] == 0 for e in sched_spans)
+        # The tentpole regression: worker-subprocess kernel spans appear
+        # in the daemon's merged trace, in their own Chrome processes,
+        # linked back by flow events.
+        worker_kernel = [
+            e for e in events
+            if e["ph"] == "X" and e.get("cat") == "kernel" and e["pid"] != 0
+        ]
+        assert worker_kernel, "no worker kernel spans in merged trace"
+        assert doc["otherData"]["processes"] == 11  # daemon + 10 workers
+        flows = [e for e in events if e.get("cat") == "flow"]
+        assert sum(1 for e in flows if e["ph"] == "s") == 10
+        assert sum(1 for e in flows if e["ph"] == "f") == 10
+
+    def test_untraced_client_still_gets_a_minted_trace(self, tmp_path):
+        trace_dir = tmp_path / "traces"
+        with service_thread(
+            tmp_path, trace_dir=str(trace_dir)
+        ) as service:
+            with ServeClient(service.config.socket_path) as client:
+                client.request("status")
+            (path,) = self.wait_for_traces(trace_dir, 1)
+            doc = json.loads(path.read_text())
+        assert doc["otherData"]["trace_id"]
+        assert any(
+            e["ph"] == "X" and e["name"] == "serve.status"
+            for e in doc["traceEvents"]
+        )
+
+    def test_no_trace_dir_means_no_tracing(self, tmp_path):
+        with service_thread(tmp_path) as service:
+            with ServeClient(service.config.socket_path) as client:
+                client.request(
+                    "sweep",
+                    SWEEP_PARAMS,
+                    trace={
+                        "trace_id": "cafe",
+                        "parent_span": "",
+                        "baggage": {},
+                    },
+                )
+        assert not list(tmp_path.glob("**/req-*.json"))
